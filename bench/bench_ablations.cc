@@ -1,0 +1,245 @@
+// Ablations over the design choices DESIGN.md calls out, plus the
+// extension features: multi-plane parallelism (§2.2), priority IO
+// scheduling (ref [13]), energy accounting (ref [2]), write-buffer
+// sizing and the DFTL mapping-cache size.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "blocklayer/block_layer.h"
+#include "blocklayer/simple_device.h"
+#include "common/table.h"
+#include "ftl/dftl.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+void PlaneParallelism() {
+  bench::Section("multi-plane operation (1 channel x 2 LUNs x 4 planes)");
+  Table table({"plane_parallelism", "rand write IOPS", "rand read IOPS",
+               "write p50"});
+  for (bool enabled : {false, true}) {
+    sim::Simulator sim;
+    ssd::Config cfg;
+    cfg.geometry.channels = 1;
+    cfg.geometry.luns_per_channel = 2;
+    cfg.geometry.planes_per_lun = 4;
+    cfg.geometry.blocks_per_plane = 32;
+    cfg.geometry.pages_per_block = 32;
+    cfg.plane_parallelism = enabled;
+    ssd::Device device(&sim, cfg);
+    const std::uint64_t n = device.num_blocks();
+    bench::FillSequential(&sim, &device, n / 2);
+    workload::RandomPattern writes(0, n / 2, true, 1, 3);
+    const auto w = workload::RunClosedLoop(&sim, &device, &writes, 6000, 16);
+    workload::RandomPattern reads(0, n / 2, false, 1, 4);
+    const auto r = workload::RunClosedLoop(&sim, &device, &reads, 6000, 16);
+    table.AddRow({enabled ? "on" : "off", Table::Num(w.Iops(), 0),
+                  Table::Num(r.Iops(), 0), Table::Time(w.latency.P50())});
+  }
+  table.Print();
+}
+
+void PriorityScheduling() {
+  bench::Section(
+      "WAL-write latency behind a page-flush burst (ref [13])");
+  Table table({"scheduler", "log write p50", "log write p99",
+               "flush burst makespan"});
+  for (auto kind : {blocklayer::SchedulerKind::kNoop,
+                    blocklayer::SchedulerKind::kPriority}) {
+    sim::Simulator sim;
+    ssd::Config ssd_cfg = ssd::Config::Consumer2012();
+    ssd::Device device(&sim, ssd_cfg);
+    blocklayer::BlockLayerConfig cfg;
+    cfg.scheduler = kind;
+    cfg.queue_depth = 8;
+    blocklayer::BlockLayer layer(&sim, &device, cfg);
+
+    Histogram log_latency;
+    std::uint64_t outstanding_flushes = 0;
+    // Burst of 256 background page flushes...
+    for (int i = 0; i < 256; ++i) {
+      blocklayer::IoRequest w;
+      w.op = blocklayer::IoOp::kWrite;
+      w.lba = static_cast<Lba>(i * 2);
+      w.nblocks = 1;
+      w.tokens = {1};
+      w.on_complete = [&](const blocklayer::IoResult&) {
+        --outstanding_flushes;
+      };
+      ++outstanding_flushes;
+      layer.Submit(std::move(w));
+    }
+    // ...with commit-critical log writes arriving every 100us.
+    for (int i = 0; i < 16; ++i) {
+      sim.Schedule(static_cast<SimTime>(i) * 100 * kMicrosecond, [&] {
+        blocklayer::IoRequest log;
+        log.op = blocklayer::IoOp::kWrite;
+        log.lba = 100000;
+        log.nblocks = 1;
+        log.tokens = {7};
+        log.priority = 1;
+        const SimTime t0 = sim.Now();
+        log.on_complete = [&, t0](const blocklayer::IoResult&) {
+          log_latency.Record(sim.Now() - t0);
+        };
+        layer.Submit(std::move(log));
+      });
+    }
+    sim.Run();
+    table.AddRow({blocklayer::SchedulerKindName(kind),
+                  Table::Time(log_latency.P50()),
+                  Table::Time(log_latency.P99()), Table::Time(sim.Now())});
+  }
+  table.Print();
+}
+
+void CopybackCost() {
+  bench::Section("GC page-move cost: external read+program vs copyback");
+  sim::Simulator sim;
+  ssd::Config cfg = ssd::Config::SingleChip();
+  ssd::Controller controller(&sim, cfg);
+  controller.ProgramPage(flash::Ppa{0, 0, 0, 0, 0},
+                         flash::PageData{1, 1, 1, 0}, [](Status) {});
+  sim.Run();
+
+  Table table({"mechanism", "latency", "channel busy", "energy"});
+  {
+    const SimTime t0 = sim.Now();
+    const double e0 = static_cast<double>(controller.EnergyNj());
+    const double b0 =
+        static_cast<double>(controller.channel(0)->resource()->busy_ns());
+    bool done = false;
+    controller.ReadPage(flash::Ppa{0, 0, 0, 0, 0},
+                        [&](StatusOr<flash::PageData> d) {
+                          controller.ProgramPage(
+                              flash::Ppa{0, 0, 0, 1, 0}, *d,
+                              [&](Status) { done = true; });
+                        });
+    sim.Run();
+    (void)done;
+    table.AddRow(
+        {"read + program (via controller)", Table::Time(sim.Now() - t0),
+         Table::Time(static_cast<SimTime>(
+             controller.channel(0)->resource()->busy_ns() - b0)),
+         Table::Num((controller.EnergyNj() - e0) / 1000, 1) + " uJ"});
+  }
+  {
+    const SimTime t0 = sim.Now();
+    const double e0 = static_cast<double>(controller.EnergyNj());
+    const double b0 =
+        static_cast<double>(controller.channel(0)->resource()->busy_ns());
+    controller.CopybackPage(flash::Ppa{0, 0, 0, 0, 0},
+                            flash::Ppa{0, 0, 0, 2, 0}, [](Status) {});
+    sim.Run();
+    table.AddRow(
+        {"copyback (in-die move)", Table::Time(sim.Now() - t0),
+         Table::Time(static_cast<SimTime>(
+             controller.channel(0)->resource()->busy_ns() - b0)),
+         Table::Num((controller.EnergyNj() - e0) / 1000, 1) + " uJ"});
+  }
+  table.Print();
+}
+
+void EnergyPerWorkload() {
+  bench::Section("flash energy per host 4KiB write (uFLIP-energy, ref [2])");
+  Table table({"workload", "WA", "energy/host write", "total energy"});
+  struct Case {
+    const char* name;
+    bool churn;
+  };
+  for (const Case c : {Case{"fresh sequential fill", false},
+                       Case{"aged random overwrite", true}}) {
+    sim::Simulator sim;
+    ssd::Device device(&sim, ssd::Config::Small());
+    const std::uint64_t n = device.num_blocks();
+    if (c.churn) {
+      bench::FillSequential(&sim, &device, n);
+      workload::RandomPattern churn(0, n, true, 1, 5);
+      bench::Precondition(&sim, &device, &churn, 2 * n);
+    }
+    const std::uint64_t e0 = device.controller()->EnergyNj();
+    const std::uint64_t h0 =
+        device.ftl()->counters().Get("host_pages_accepted");
+    std::unique_ptr<workload::Pattern> p;
+    if (c.churn) {
+      p = std::make_unique<workload::RandomPattern>(0, n, true, 1, 6);
+    } else {
+      p = std::make_unique<workload::SequentialPattern>(0, n, true);
+    }
+    bench::Precondition(&sim, &device, p.get(), n / 2);
+    const double de =
+        static_cast<double>(device.controller()->EnergyNj() - e0);
+    const double dh = static_cast<double>(
+        device.ftl()->counters().Get("host_pages_accepted") - h0);
+    table.AddRow({c.name, Table::Num(device.WriteAmplification(), 2),
+                  Table::Num(de / dh / 1000, 1) + " uJ",
+                  Table::Num(de / 1e9, 3) + " J"});
+  }
+  table.Print();
+}
+
+void BufferSizeSweep() {
+  bench::Section("write-buffer size (burst of 512 random writes, QD8)");
+  Table table({"buffer pages", "write p50", "write p99", "IOPS"});
+  for (std::uint32_t pages : {0u, 16u, 64u, 256u, 1024u}) {
+    sim::Simulator sim;
+    ssd::Config cfg = ssd::Config::Consumer2012();
+    cfg.write_buffer.pages = pages;
+    ssd::Device device(&sim, cfg);
+    workload::RandomPattern writes(0, device.num_blocks(), true, 1, 3);
+    const auto r = workload::RunClosedLoop(&sim, &device, &writes, 512, 8);
+    table.AddRow({Table::Int(pages), Table::Time(r.latency.P50()),
+                  Table::Time(r.latency.P99()), Table::Num(r.Iops(), 0)});
+  }
+  table.Print();
+}
+
+void DftlCmtSweep() {
+  bench::Section("DFTL cached-mapping-table size (uniform random writes)");
+  Table table({"CMT pages", "cmt hit rate", "map reads", "map writes",
+               "WA"});
+  for (std::uint32_t cmt : {2u, 8u, 32u, 128u}) {
+    sim::Simulator sim;
+    ssd::Config cfg = ssd::Config::Small();
+    cfg.geometry.blocks_per_plane = 64;
+    cfg.ftl = ssd::FtlKind::kDftl;
+    cfg.dftl_cmt_pages = cmt;
+    cfg.dftl_entries_per_tp = 64;
+    ssd::Device device(&sim, cfg);
+    const std::uint64_t n = device.num_blocks();
+    workload::RandomPattern writes(0, n, true, 1, 9);
+    (void)workload::RunClosedLoop(&sim, &device, &writes, 8000, 4);
+    sim.Run();
+    const auto& c = device.ftl()->counters();
+    const double hits = static_cast<double>(c.Get("cmt_hits"));
+    const double total = hits + static_cast<double>(c.Get("cmt_misses"));
+    table.AddRow({Table::Int(cmt),
+                  Table::Num(100 * hits / (total > 0 ? total : 1), 1) + "%",
+                  Table::Int(c.Get("map_reads")),
+                  Table::Int(c.Get("map_writes")),
+                  Table::Num(device.WriteAmplification(), 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner(
+      "E13", "ablations over the design space",
+      "each controller design choice the paper discusses, isolated: "
+      "plane parallelism, IO priorities, energy, buffer size, DFTL "
+      "cache size");
+  PlaneParallelism();
+  PriorityScheduling();
+  CopybackCost();
+  EnergyPerWorkload();
+  BufferSizeSweep();
+  DftlCmtSweep();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E12 — host-side microbenchmarks (google-benchmark): the in-memory
+// data structures whose per-op cost underlies the simulator and the
+// FTL mapping paths. Real wall-clock time, not simulated time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "flash/address.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "workload/zipf.h"
+
+namespace postblock {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(1);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    q.Push(t + rng.Uniform(1000), [] {});
+    if (q.size() > 64) q.Pop()();
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(static_cast<SimTime>(i), [&sink] { ++sink; });
+    }
+    state.ResumeTiming();
+    sim.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(rng.Uniform(10'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.Record(rng.Uniform(10'000'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Percentile(99.0));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  workload::ZipfGenerator zipf(state.range(0), 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfNext)->Arg(1000)->Arg(100000);
+
+void BM_PpaFlattenRoundTrip(benchmark::State& state) {
+  flash::Geometry g;
+  g.channels = 8;
+  g.luns_per_channel = 4;
+  g.blocks_per_plane = 256;
+  g.pages_per_block = 128;
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::uint64_t flat = rng.Uniform(g.total_pages());
+    const flash::Ppa ppa = flash::Ppa::FromFlat(g, flat);
+    benchmark::DoNotOptimize(ppa.Flatten(g));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PpaFlattenRoundTrip);
+
+}  // namespace
+}  // namespace postblock
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// E4 — Myth 2: "on flash SSDs, random writes are very costly and should
+// be avoided."
+//
+// True for pre-2009 mapping schemes (block-mapped, hybrid log-block);
+// false for page mapping — and a battery-backed write buffer makes the
+// two patterns complete identically at the host. We sweep FTL kind x
+// buffer and report sequential vs random 4 KiB write performance.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+struct Row {
+  double seq_iops = 0;
+  double rand_iops = 0;
+  SimTime seq_p50 = 0;
+  SimTime rand_p50 = 0;
+  double wa = 0;
+};
+
+Row Measure(ssd::FtlKind kind, bool buffered) {
+  Row row;
+  for (bool random : {false, true}) {
+    sim::Simulator sim;
+    ssd::Config cfg = ssd::Config::Small();
+    cfg.geometry.channels = 4;
+    cfg.geometry.luns_per_channel = 2;
+    cfg.geometry.blocks_per_plane = 64;
+    cfg.geometry.pages_per_block = 32;
+    cfg.ftl = kind;
+    cfg.write_buffer.pages = buffered ? 128 : 0;
+    ssd::Device device(&sim, cfg);
+    const std::uint64_t span = device.num_blocks() / 2;
+
+    // The classic contrast: sequential *appends* into a fresh region vs
+    // random *overwrites* of a populated one (what a log-structured vs
+    // an update-in-place workload hand the device).
+    bench::FillSequential(&sim, &device, span);
+    std::unique_ptr<workload::Pattern> pattern;
+    if (random) {
+      pattern = std::make_unique<workload::RandomPattern>(0, span, true, 1,
+                                                          21);
+    } else {
+      pattern = std::make_unique<workload::SequentialPattern>(
+          span, device.num_blocks() - span, true);
+    }
+    // One pass over the region (no wrap) keeps the sequential stream a
+    // true append stream.
+    const auto r =
+        workload::RunClosedLoop(&sim, &device, pattern.get(), span, 4);
+    sim.Run();  // drain buffer + GC so WA is settled
+    if (random) {
+      row.rand_iops = r.Iops();
+      row.rand_p50 = r.latency.P50();
+      row.wa = device.WriteAmplification();
+    } else {
+      row.seq_iops = r.Iops();
+      row.seq_p50 = r.latency.P50();
+    }
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner(
+      "E4", "Myth 2 — random vs sequential 4KiB writes",
+      "block/hybrid mapping: sequential >> random (merges); page "
+      "mapping: near parity; page mapping + safe write cache: parity at "
+      "cache latency regardless of pattern");
+
+  Table table({"FTL", "write cache", "seq IOPS", "rand IOPS",
+               "seq/rand ratio", "seq p50", "rand p50", "rand WA"});
+  struct Config {
+    ssd::FtlKind kind;
+    bool buffered;
+  };
+  for (const Config c :
+       {Config{ssd::FtlKind::kBlockMap, false},
+        Config{ssd::FtlKind::kHybrid, false},
+        Config{ssd::FtlKind::kDftl, false},
+        Config{ssd::FtlKind::kPageMap, false},
+        Config{ssd::FtlKind::kPageMap, true}}) {
+    const Row row = Measure(c.kind, c.buffered);
+    table.AddRow({ssd::FtlKindName(c.kind), c.buffered ? "yes" : "no",
+                  Table::Num(row.seq_iops, 0),
+                  Table::Num(row.rand_iops, 0),
+                  Table::Num(row.seq_iops / row.rand_iops, 1) + "x",
+                  Table::Time(row.seq_p50), Table::Time(row.rand_p50),
+                  Table::Num(row.wa, 2)});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: the seq/rand ratio collapses from >>1 on the "
+      "legacy FTLs to ~1 on page mapping; with the battery-backed cache "
+      "both patterns complete at buffer-insert latency.\n");
+  return 0;
+}

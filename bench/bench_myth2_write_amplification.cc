@@ -1,0 +1,125 @@
+// E5 — Myth 2 corollary, the paper's explicit "topic for future work":
+// "random writes have a negative impact on garbage collection, as
+// locality is impossible to detect for the FTL ... pages that are to be
+// reclaimed together tend to be spread over many blocks."
+//
+// We quantify it: sustained-write amplification over time for
+// sequential, random and zipf patterns on the page-mapping FTL, with
+// ablations over GC policy and over-provisioning.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "ftl/ftl.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+ssd::Config BaseConfig(double op, ssd::GcPolicyKind policy) {
+  ssd::Config c = ssd::Config::Small();
+  c.geometry.channels = 4;
+  c.geometry.luns_per_channel = 2;
+  c.geometry.blocks_per_plane = 64;
+  c.geometry.pages_per_block = 32;
+  c.over_provisioning = op;
+  c.gc.policy = policy;
+  return c;
+}
+
+std::unique_ptr<workload::Pattern> MakePattern(const std::string& kind,
+                                               std::uint64_t span) {
+  if (kind == "sequential") {
+    return std::make_unique<workload::SequentialPattern>(0, span, true);
+  }
+  if (kind == "zipf") {
+    return std::make_unique<workload::ZipfPattern>(0, span, 0.99, true, 5);
+  }
+  return std::make_unique<workload::RandomPattern>(0, span, true, 1, 5);
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner(
+      "E5", "Myth 2 corollary — GC cost of write patterns over time",
+      "sequential overwrites keep WA ~1 (whole blocks die together); "
+      "uniform random spreads soon-dead pages across blocks so WA "
+      "climbs as the device fills its over-provisioning; skew (zipf) "
+      "sits between; more OP and cost-benefit GC soften it");
+
+  bench::Section("write amplification per window (page-map, greedy, OP=0.125)");
+  {
+    Table table({"pattern", "win1", "win2", "win3", "win4", "win5",
+                 "final WA", "gc moves/host write"});
+    for (const char* kind : {"sequential", "random", "zipf"}) {
+      sim::Simulator sim;
+      ssd::Device device(&sim,
+                         BaseConfig(0.125, ssd::GcPolicyKind::kGreedy));
+      const std::uint64_t n = device.num_blocks();
+      bench::FillSequential(&sim, &device, n);
+      auto pattern = MakePattern(kind, n);
+      std::vector<std::string> cells = {kind};
+      std::uint64_t prev_prog =
+          device.controller()->counters().Get("pages_programmed");
+      std::uint64_t prev_host =
+          device.ftl()->counters().Get("host_pages_accepted");
+      for (int window = 0; window < 5; ++window) {
+        bench::Precondition(&sim, &device, pattern.get(), n / 2);
+        const std::uint64_t prog =
+            device.controller()->counters().Get("pages_programmed");
+        const std::uint64_t host =
+            device.ftl()->counters().Get("host_pages_accepted");
+        cells.push_back(Table::Num(
+            static_cast<double>(prog - prev_prog) /
+                static_cast<double>(host - prev_host),
+            2));
+        prev_prog = prog;
+        prev_host = host;
+      }
+      cells.push_back(Table::Num(device.WriteAmplification(), 2));
+      cells.push_back(Table::Num(
+          static_cast<double>(
+              device.ftl()->counters().Get("gc_page_moves")) /
+              static_cast<double>(
+                  device.ftl()->counters().Get("host_pages_accepted")),
+          2));
+      table.AddRow(cells);
+    }
+    table.Print();
+  }
+
+  bench::Section("ablation: GC policy x over-provisioning (random writes)");
+  {
+    Table table({"gc policy", "OP", "steady WA", "gc erases",
+                 "write stalls"});
+    for (auto policy :
+         {ssd::GcPolicyKind::kGreedy, ssd::GcPolicyKind::kCostBenefit}) {
+      for (double op : {0.07, 0.125, 0.25}) {
+        sim::Simulator sim;
+        ssd::Device device(&sim, BaseConfig(op, policy));
+        const std::uint64_t n = device.num_blocks();
+        bench::FillSequential(&sim, &device, n);
+        workload::RandomPattern churn(0, n, true, 1, 5);
+        bench::Precondition(&sim, &device, &churn, 3 * n);
+        table.AddRow({ssd::GcPolicyKindName(policy), Table::Num(op, 3),
+                      Table::Num(device.WriteAmplification(), 2),
+                      Table::Int(device.ftl()->counters().Get("gc_erases")),
+                      Table::Int(
+                          device.ftl()->counters().Get("write_stalls"))});
+      }
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nshape check: random-write WA rises over windows and exceeds "
+      "sequential's ~1; WA falls steeply as OP grows; skew (zipf) "
+      "concentrates soon-dead pages less than sequential but keeps a "
+      "cold tail GC must carry.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E11 — Section 2.4 discussion: "even if we contemplate pure PCM-based
+// SSDs, the issues of parallelism, wear leveling and error management
+// will likely introduce significant complexity. Also, PCM-based SSDs
+// will not make the issues of low latency and high-parallelism
+// disappear."
+//
+// We compare persisting 64B and 4KiB through (a) PCM on the memory bus
+// and (b) an Onyx-style PCM SSD behind the block interface + block
+// layer, idle and under load — the interface, not the medium, sets the
+// floor.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "blocklayer/block_layer.h"
+#include "blocklayer/simple_device.h"
+#include "common/table.h"
+#include "pcm/pcm_device.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+blocklayer::SimpleDeviceConfig OnyxLike() {
+  // PCM array behind a block controller: fast medium, block-granular.
+  blocklayer::SimpleDeviceConfig cfg;
+  cfg.num_blocks = 1 << 18;
+  cfg.read_ns = 8 * kMicrosecond;    // 4 KiB over PCM banks
+  cfg.write_ns = 25 * kMicrosecond;
+  cfg.units = 16;
+  cfg.controller_overhead_ns = 2 * kMicrosecond;
+  return cfg;
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner(
+      "E11", "Section 2.4 — PCM does not dissolve the problem",
+      "PCM on the memory bus persists 64B in ~ns; the same medium "
+      "behind a block interface pays block granularity + stack overhead "
+      "+ queueing — the abstraction, not the cell, dominates");
+
+  bench::Section("persist latency by path");
+  {
+    Table table({"path", "64 B persist", "4 KiB persist"});
+    {
+      sim::Simulator sim;
+      pcm::PcmDevice dimm(&sim, pcm::PcmConfig{});
+      SimTime t64 = 0;
+      SimTime t4k = 0;
+      bool done = false;
+      const SimTime s1 = sim.Now();
+      dimm.Write(0, std::vector<std::uint8_t>(64, 1), [&](Status) {
+        t64 = sim.Now() - s1;
+        done = true;
+      });
+      sim.RunUntilPredicate([&] { return done; });
+      done = false;
+      const SimTime s2 = sim.Now();
+      dimm.Write(4096, std::vector<std::uint8_t>(4096, 1), [&](Status) {
+        t4k = sim.Now() - s2;
+        done = true;
+      });
+      sim.RunUntilPredicate([&] { return done; });
+      table.AddRow({"PCM DIMM (memory bus)", Table::Time(t64),
+                    Table::Time(t4k)});
+    }
+    {
+      sim::Simulator sim;
+      blocklayer::SimpleBlockDevice pcm_ssd(&sim, OnyxLike());
+      blocklayer::BlockLayerConfig blcfg;
+      blocklayer::BlockLayer layer(&sim, &pcm_ssd, blcfg);
+      auto persist_one = [&]() {
+        blocklayer::IoRequest w;
+        w.op = blocklayer::IoOp::kWrite;
+        w.lba = 1;
+        w.nblocks = 1;
+        w.tokens = {1};
+        bool fired = false;
+        const SimTime s = sim.Now();
+        SimTime latency = 0;
+        w.on_complete = [&](const blocklayer::IoResult&) {
+          latency = sim.Now() - s;
+          fired = true;
+        };
+        layer.Submit(std::move(w));
+        sim.RunUntilPredicate([&] { return fired; });
+        return latency;
+      };
+      const SimTime lat = persist_one();
+      table.AddRow({"PCM SSD behind block layer",
+                    Table::Time(lat) + " (64B pays a full block)",
+                    Table::Time(lat)});
+    }
+    table.Print();
+  }
+
+  bench::Section("PCM SSD under load: queueing exists on any medium");
+  {
+    Table table({"QD", "IOPS", "p50", "p99"});
+    for (std::uint32_t qd : {1u, 8u, 32u, 128u}) {
+      sim::Simulator sim;
+      blocklayer::SimpleBlockDevice pcm_ssd(&sim, OnyxLike());
+      blocklayer::BlockLayerConfig blcfg;
+      blocklayer::BlockLayer layer(&sim, &pcm_ssd, blcfg);
+      workload::RandomPattern writes(0, 1 << 18, true, 1, 3);
+      const auto r =
+          workload::RunClosedLoop(&sim, &layer, &writes, 20000, qd);
+      table.AddRow({Table::Int(qd), Table::Num(r.Iops(), 0),
+                    Table::Time(r.latency.P50()),
+                    Table::Time(r.latency.P99())});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nshape check: a 64B commit on the DIMM path costs ~0.5us; the "
+      "same bytes behind the block interface cost 4KiB + tens of us, "
+      "and p99 grows with queue depth — parallelism and scheduling "
+      "remain system problems on PCM too.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef POSTBLOCK_BENCH_BENCH_UTIL_H_
+#define POSTBLOCK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "blocklayer/block_device.h"
+#include "common/table.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+#include "workload/patterns.h"
+
+namespace postblock::bench {
+
+/// Prints the experiment banner: which paper artifact this regenerates
+/// and what shape the paper claims.
+inline void Banner(const std::string& id, const std::string& artifact,
+                   const std::string& claim) {
+  std::printf("\n=== %s — %s ===\n", id.c_str(), artifact.c_str());
+  std::printf("paper claim: %s\n\n", claim.c_str());
+}
+
+inline void Section(const std::string& name) {
+  std::printf("\n-- %s --\n", name.c_str());
+}
+
+/// Issues `ops` single-page writes from `pattern` and runs to idle —
+/// used to precondition (age) a device so GC has history to fight.
+inline void Precondition(sim::Simulator* sim,
+                         blocklayer::BlockDevice* device,
+                         workload::Pattern* pattern, std::uint64_t ops,
+                         std::uint32_t queue_depth = 8) {
+  (void)workload::RunClosedLoop(sim, device, pattern, ops, queue_depth);
+  sim->Run();  // drain background GC
+}
+
+/// Sequentially fills the first `blocks` LBAs (valid data everywhere).
+inline void FillSequential(sim::Simulator* sim,
+                           blocklayer::BlockDevice* device,
+                           std::uint64_t blocks) {
+  workload::SequentialPattern fill(0, blocks, /*is_write=*/true);
+  Precondition(sim, device, &fill, blocks);
+}
+
+}  // namespace postblock::bench
+
+#endif  // POSTBLOCK_BENCH_BENCH_UTIL_H_

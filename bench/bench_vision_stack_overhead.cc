@@ -1,0 +1,135 @@
+// E9 — Section 3, principle 3: "we should seek inspiration in the
+// low-latency networking literature ... streamlined execution
+// throughout the I/O stack to minimize CPU overhead."
+//
+// Once the device stops being the latency bottleneck, per-IO kernel
+// cost caps IOPS. We sweep the host path — 2012 single-queue block
+// layer, a streamlined multiqueue stack, and user-space direct access —
+// over queue depth, and separately sweep interrupt vs polled
+// completion.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "blocklayer/block_layer.h"
+#include "blocklayer/direct_driver.h"
+#include "blocklayer/simple_device.h"
+#include "common/table.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+// A next-generation NVM device fast enough that the host path is the
+// bottleneck — the situation the paper says has already arrived.
+blocklayer::SimpleDeviceConfig FastNvm() {
+  blocklayer::SimpleDeviceConfig cfg;
+  cfg.num_blocks = 1 << 20;
+  cfg.read_ns = 8 * kMicrosecond;
+  cfg.write_ns = 10 * kMicrosecond;
+  cfg.units = 64;
+  cfg.controller_overhead_ns = 1 * kMicrosecond;
+  return cfg;
+}
+
+struct PathResult {
+  double iops = 0;
+  SimTime p50 = 0;
+  double cpu_util = 0;
+};
+
+PathResult RunPath(const char* path, std::uint32_t qd) {
+  sim::Simulator sim;
+  blocklayer::SimpleBlockDevice device(&sim, FastNvm());
+  const std::uint64_t n = device.num_blocks();
+
+  std::unique_ptr<blocklayer::BlockLayer> layer;
+  std::unique_ptr<blocklayer::DirectDriver> direct;
+  blocklayer::BlockDevice* front = &device;
+  if (std::string(path) == "block layer (2012)") {
+    blocklayer::BlockLayerConfig cfg;
+    cfg.cpu = blocklayer::CpuCosts::Legacy();
+    cfg.nr_queues = 1;
+    layer = std::make_unique<blocklayer::BlockLayer>(&sim, &device, cfg);
+    front = layer.get();
+  } else if (std::string(path) == "multiqueue (blk-mq)") {
+    blocklayer::BlockLayerConfig cfg;
+    cfg.cpu = blocklayer::CpuCosts::Streamlined();
+    cfg.nr_queues = 4;
+    layer = std::make_unique<blocklayer::BlockLayer>(&sim, &device, cfg);
+    front = layer.get();
+  } else if (std::string(path) == "direct (ioMemory-style)") {
+    direct = std::make_unique<blocklayer::DirectDriver>(&sim, &device);
+    front = direct.get();
+  }
+
+  workload::RandomPattern writes(0, n, true, 1, 3);
+  const auto r = workload::RunClosedLoop(&sim, front, &writes, 30000, qd);
+  PathResult out;
+  out.iops = r.Iops();
+  out.p50 = r.latency.P50();
+  out.cpu_util = layer ? layer->CpuUtilization()
+                       : (direct ? direct->CpuUtilization() : 0.0);
+  return out;
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner(
+      "E9", "Section 3 principle 3 — IO stack CPU overhead caps IOPS",
+      "with a fast (cached) device, the legacy block layer's per-IO "
+      "submit/schedule/interrupt work becomes the bottleneck; a "
+      "streamlined multiqueue stack recovers much of it and user-space "
+      "direct access nearly all");
+
+  bench::Section("4KiB random writes on a fast NVM device: IOPS by host path x QD");
+  {
+    Table table({"host path", "QD1", "QD8", "QD64", "QD256",
+                 "cpu util @QD256", "p50 @QD1"});
+    for (const char* path : {"raw device", "block layer (2012)",
+                             "multiqueue (blk-mq)",
+                             "direct (ioMemory-style)"}) {
+      std::vector<std::string> row = {path};
+      PathResult last{};
+      PathResult first{};
+      for (std::uint32_t qd : {1u, 8u, 64u, 256u}) {
+        const auto r = RunPath(path, qd);
+        row.push_back(Table::Num(r.iops, 0));
+        last = r;
+        if (qd == 1) first = r;
+      }
+      row.push_back(Table::Num(100 * last.cpu_util, 1) + "%");
+      row.push_back(Table::Time(first.p50));
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  bench::Section("interrupt vs polled completion (block layer, QD32)");
+  {
+    Table table({"completion", "IOPS", "p50", "p99"});
+    for (bool interrupts : {true, false}) {
+      sim::Simulator sim;
+      blocklayer::SimpleBlockDevice device(&sim, FastNvm());
+      blocklayer::BlockLayerConfig cfg;
+      cfg.interrupt_completion = interrupts;
+      blocklayer::BlockLayer layer(&sim, &device, cfg);
+      workload::RandomPattern writes(0, device.num_blocks(), true, 1, 3);
+      const auto r =
+          workload::RunClosedLoop(&sim, &layer, &writes, 30000, 32);
+      table.AddRow({interrupts ? "interrupt" : "polled",
+                    Table::Num(r.Iops(), 0), Table::Time(r.latency.P50()),
+                    Table::Time(r.latency.P99())});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nshape check: raw-device IOPS >> legacy block layer at high QD "
+      "(CPU-bound); multiqueue closes most of the gap, direct access "
+      "the rest; polling beats interrupts once the device is fast.\n");
+  return 0;
+}

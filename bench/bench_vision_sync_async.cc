@@ -1,0 +1,104 @@
+// E7 — Section 3, principle 1: "synchronous patterns (log writes,
+// buffer steals under memory pressure) should be directed to PCM-based
+// SSDs via non-volatile memory accesses from the CPU, while
+// asynchronous patterns ... should be directed to flash-based SSDs."
+//
+// The same KV storage manager runs over the same simulated SSD in both
+// wirings; only the architecture differs. We report transaction commit
+// latency and throughput for a commit-heavy OLTP mix, plus read
+// latency to show the async path is unharmed.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "db/storage_manager.h"
+#include "workload/db_trace.h"
+
+namespace postblock {
+namespace {
+
+struct Result {
+  Histogram commit;
+  double txn_per_sec = 0;
+  Histogram get_latency;
+  std::uint64_t padded_bytes = 0;
+};
+
+Result RunDbWorkload(db::Wiring wiring, std::size_t txns) {
+  sim::Simulator sim;
+  ssd::Config ssd_cfg = ssd::Config::Consumer2012();
+  ssd_cfg.write_buffer.pages = 256;
+  ssd::Device device(&sim, ssd_cfg);
+  db::StorageConfig cfg;
+  cfg.wiring = wiring;
+  db::StorageManager manager(&sim, &device, cfg);
+
+  bool ready = false;
+  manager.Bootstrap([&](Status) { ready = true; });
+  sim.RunUntilPredicate([&] { return ready; });
+
+  workload::DbTraceConfig trace_cfg;
+  trace_cfg.key_space = 20000;
+  trace_cfg.put_fraction = 0.6;
+  workload::DbTrace trace(trace_cfg);
+
+  Result result;
+  const SimTime start = sim.Now();
+  for (std::size_t i = 0; i < txns; ++i) {
+    const workload::KvOp op = trace.Next();
+    bool fired = false;
+    if (op.kind == workload::KvOp::Kind::kGet) {
+      const SimTime t0 = sim.Now();
+      manager.Get(op.key, [&](StatusOr<std::uint64_t>) {
+        result.get_latency.Record(sim.Now() - t0);
+        fired = true;
+      });
+    } else if (op.kind == workload::KvOp::Kind::kPut) {
+      manager.Put(op.key, op.value, [&](Status) { fired = true; });
+    } else {
+      manager.Delete(op.key, [&](Status) { fired = true; });
+    }
+    sim.RunUntilPredicate([&] { return fired; });
+  }
+  const SimTime elapsed = sim.Now() - start;
+  result.commit = manager.commit_latency();
+  result.txn_per_sec =
+      static_cast<double>(txns) * 1e9 / static_cast<double>(elapsed);
+  result.padded_bytes = manager.store()->counters().Get("sync_padded_bytes");
+  return result;
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner(
+      "E7", "Section 3 principle 1 — sync->PCM, async->flash",
+      "routing WAL commits to PCM over the memory bus cuts commit "
+      "latency by orders of magnitude vs WAL-on-SSD-behind-the-block-"
+      "interface, and lifts whole-workload throughput; reads are "
+      "untouched");
+
+  Table table({"wiring", "commit p50", "commit p99", "commit mean",
+               "ops/s", "get p50", "WAL pad waste"});
+  for (auto wiring : {db::Wiring::kClassic, db::Wiring::kVision}) {
+    const auto r = RunDbWorkload(wiring, 4000);
+    table.AddRow(
+        {db::WiringName(wiring), Table::Time(r.commit.P50()),
+         Table::Time(r.commit.P99()),
+         Table::Time(static_cast<SimTime>(r.commit.Mean())),
+         Table::Num(r.txn_per_sec, 0), Table::Time(r.get_latency.P50()),
+         std::to_string(r.padded_bytes / 1024) + " KiB"});
+  }
+  table.Print();
+  std::printf(
+      "\nshape check: vision commit p50 is hundreds of ns (a PCM line "
+      "store) vs hundreds of us classic (page program + flush through "
+      "the block layer) — a 2-3 order-of-magnitude gap; throughput "
+      "follows since the workload is commit-bound; the classic WAL also "
+      "burns a 4 KiB block per tiny record (pad waste).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// A key-value database on the paper's redesigned storage architecture —
+// the end-to-end "vision" demo:
+//
+//   * WAL commits -> PCM over the memory bus (sync path),
+//   * data pages  -> flash SSD via a direct driver (async path),
+//   * checkpoints -> the device's atomic write command,
+//
+// then the same database rewired the "classic" way (everything through
+// the block device interface), same workload, same simulated hardware.
+// Includes a power-cut + recovery demonstration.
+//
+//   $ ./kvstore
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "db/storage_manager.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+#include "workload/db_trace.h"
+
+using namespace postblock;
+
+namespace {
+
+struct DemoResult {
+  double txn_per_sec;
+  Histogram commit;
+};
+
+DemoResult RunDemo(db::Wiring wiring, bool narrate) {
+  sim::Simulator sim;
+  ssd::Config ssd_cfg = ssd::Config::Consumer2012();
+  ssd_cfg.write_buffer.pages = 256;
+  ssd::Device ssd(&sim, ssd_cfg);
+  db::StorageConfig cfg;
+  cfg.wiring = wiring;
+  db::StorageManager store(&sim, &ssd, cfg);
+
+  auto wait = [&](auto submit) {
+    bool fired = false;
+    submit([&](Status st) {
+      if (!st.ok()) std::printf("  !! %s\n", st.ToString().c_str());
+      fired = true;
+    });
+    sim.RunUntilPredicate([&] { return fired; });
+  };
+
+  wait([&](auto cb) { store.Bootstrap(cb); });
+
+  // OLTP-ish phase: zipf keys, 60% updates.
+  workload::DbTraceConfig trace_cfg;
+  trace_cfg.key_space = 10000;
+  trace_cfg.put_fraction = 0.6;
+  workload::DbTrace trace(trace_cfg);
+  const SimTime start = sim.Now();
+  const int kTxns = 3000;
+  for (int i = 0; i < kTxns; ++i) {
+    const workload::KvOp op = trace.Next();
+    if (op.kind == workload::KvOp::Kind::kGet) {
+      bool fired = false;
+      store.Get(op.key, [&](StatusOr<std::uint64_t>) { fired = true; });
+      sim.RunUntilPredicate([&] { return fired; });
+    } else if (op.kind == workload::KvOp::Kind::kPut) {
+      wait([&](auto cb) { store.Put(op.key, op.value, cb); });
+    } else {
+      wait([&](auto cb) { store.Delete(op.key, cb); });
+    }
+  }
+  const double tps = static_cast<double>(kTxns) * 1e9 /
+                     static_cast<double>(sim.Now() - start);
+
+  if (narrate) {
+    // Put a marker, checkpoint, put more, then pull the plug.
+    wait([&](auto cb) { store.Put(424242, 1, cb); });
+    wait([&](auto cb) { store.Checkpoint(cb); });
+    wait([&](auto cb) { store.Put(424243, 2, cb); });
+    std::printf("  power cut...\n");
+    if (Status st = store.SimulateCrash(); !st.ok()) {
+      std::printf("  crash failed: %s\n", st.ToString().c_str());
+    }
+    wait([&](auto cb) { store.Recover(cb); });
+    for (std::uint64_t key : {424242ull, 424243ull}) {
+      bool fired = false;
+      store.Get(key, [&](StatusOr<std::uint64_t> r) {
+        std::printf("  after recovery, key %llu -> %s\n",
+                    static_cast<unsigned long long>(key),
+                    r.ok() ? std::to_string(*r).c_str()
+                           : r.status().ToString().c_str());
+        fired = true;
+      });
+      sim.RunUntilPredicate([&] { return fired; });
+    }
+    std::printf("  (both survive: one via the checkpoint, one via WAL "
+                "replay)\n");
+  }
+  return DemoResult{tps, store.commit_latency()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("kvstore: the same database, two storage architectures\n");
+  std::printf("\n[vision]  WAL->PCM, pages->direct driver, atomic "
+              "checkpoints\n");
+  const DemoResult vision = RunDemo(db::Wiring::kVision, /*narrate=*/true);
+  std::printf("\n[classic] everything through the block device "
+              "interface\n");
+  const DemoResult classic =
+      RunDemo(db::Wiring::kClassic, /*narrate=*/false);
+
+  std::printf("\nresults (3000 zipf transactions, 60%% updates):\n");
+  Table table({"wiring", "txn/s", "commit p50", "commit p99"});
+  table.AddRow({"vision", Table::Num(vision.txn_per_sec, 0),
+                Table::Time(vision.commit.P50()),
+                Table::Time(vision.commit.P99())});
+  table.AddRow({"classic", Table::Num(classic.txn_per_sec, 0),
+                Table::Time(classic.commit.P50()),
+                Table::Time(classic.commit.P99())});
+  table.Print();
+  std::printf("\nspeedup: %.0fx — that is Section 3, principle 1, "
+              "end to end.\n",
+              vision.txn_per_sec / classic.txn_per_sec);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every
+# paper experiment (EXPERIMENTS.md's tables) into bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo
+echo "done: test_output.txt + bench_output.txt written."

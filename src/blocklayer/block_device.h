@@ -1,0 +1,33 @@
+#ifndef POSTBLOCK_BLOCKLAYER_BLOCK_DEVICE_H_
+#define POSTBLOCK_BLOCKLAYER_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "blocklayer/request.h"
+#include "common/stats.h"
+
+namespace postblock::blocklayer {
+
+/// The block device interface the paper argues must die: a flat array of
+/// fixed-size logical blocks accepting asynchronous read/write (plus the
+/// retrofitted trim/flush). Implemented by the simulated SSD, the HDD
+/// model, and simple fixed-latency devices.
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Number of addressable logical blocks.
+  virtual std::uint64_t num_blocks() const = 0;
+  /// Logical block size in bytes.
+  virtual std::uint32_t block_bytes() const = 0;
+
+  /// Submits one asynchronous request. The completion callback fires in
+  /// simulated time; it must always fire exactly once.
+  virtual void Submit(IoRequest request) = 0;
+
+  virtual const Counters& counters() const = 0;
+};
+
+}  // namespace postblock::blocklayer
+
+#endif  // POSTBLOCK_BLOCKLAYER_BLOCK_DEVICE_H_

@@ -1,0 +1,88 @@
+#ifndef POSTBLOCK_BLOCKLAYER_BLOCK_LAYER_H_
+#define POSTBLOCK_BLOCKLAYER_BLOCK_LAYER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blocklayer/block_device.h"
+#include "blocklayer/cpu_model.h"
+#include "blocklayer/io_scheduler.h"
+#include "blocklayer/request.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace postblock::blocklayer {
+
+/// Configuration of the kernel block layer model.
+struct BlockLayerConfig {
+  CpuCosts cpu = CpuCosts::Legacy();
+  std::uint32_t cores = 4;
+  /// Max requests outstanding at the device (per-queue depth).
+  std::uint32_t queue_depth = 32;
+  /// Number of software/hardware queue pairs (1 = the 2012 single-queue
+  /// design with its shared-lock behaviour; >1 = blk-mq style).
+  std::uint32_t nr_queues = 1;
+  SchedulerKind scheduler = SchedulerKind::kMerge;
+  /// Completion by interrupt (true) or polling (false).
+  bool interrupt_completion = true;
+};
+
+/// The Linux-style block layer: software queues feeding a lower
+/// BlockDevice, per-IO host CPU costs, completion via interrupt or
+/// polling. Stackable — it is itself a BlockDevice.
+///
+/// This is the layer the paper says "provides too much abstraction in
+/// the absence of a simple performance model": every request pays
+/// submit+schedule+completion CPU, which caps IOPS once the device
+/// itself stops being the bottleneck (E9).
+class BlockLayer : public BlockDevice {
+ public:
+  BlockLayer(sim::Simulator* sim, BlockDevice* lower,
+             const BlockLayerConfig& config);
+  ~BlockLayer() override = default;
+
+  std::uint64_t num_blocks() const override { return lower_->num_blocks(); }
+  std::uint32_t block_bytes() const override {
+    return lower_->block_bytes();
+  }
+  void Submit(IoRequest request) override;
+  const Counters& counters() const override { return counters_; }
+
+  const Histogram& latency() const { return latency_; }
+  const IoScheduler& scheduler(std::uint32_t q) const {
+    return *queues_[q].scheduler;
+  }
+  double CpuUtilization() const { return cpu_.Utilization(); }
+
+  /// Simulates power loss / host reset: queued and in-flight requests
+  /// are dropped without completing.
+  void PowerCycle();
+
+ private:
+  struct QueuePair {
+    std::unique_ptr<IoScheduler> scheduler;
+    /// Serializes scheduler insertion — the single-queue lock whose
+    /// contention the paper mentions the Linux community was removing.
+    std::unique_ptr<sim::Resource> lock;
+    std::uint32_t outstanding = 0;
+  };
+
+  void Dispatch(std::uint32_t q);
+
+  sim::Simulator* sim_;
+  BlockDevice* lower_;
+  BlockLayerConfig config_;
+  sim::Resource cpu_;
+  std::vector<QueuePair> queues_;
+  std::uint64_t rr_ = 0;  // submission queue choice (models per-core)
+  std::uint64_t epoch_ = 0;
+  Histogram latency_;
+  Counters counters_;
+};
+
+}  // namespace postblock::blocklayer
+
+#endif  // POSTBLOCK_BLOCKLAYER_BLOCK_LAYER_H_

@@ -1,0 +1,37 @@
+#include "blocklayer/direct_driver.h"
+
+#include <utility>
+
+namespace postblock::blocklayer {
+
+DirectDriver::DirectDriver(sim::Simulator* sim, BlockDevice* lower,
+                           const CpuCosts& cpu, std::uint32_t cores)
+    : sim_(sim),
+      lower_(lower),
+      cpu_(cpu),
+      cpu_res_(sim, "direct-cpu", static_cast<int>(cores)) {}
+
+void DirectDriver::Submit(IoRequest request) {
+  counters_.Increment("submitted");
+  const SimTime start = sim_->Now();
+  const std::uint64_t epoch = epoch_;
+  IoCallback user_cb = std::move(request.on_complete);
+  request.on_complete = [this, start, epoch, user_cb = std::move(user_cb)](
+                            const IoResult& result) {
+    if (epoch != epoch_) return;
+    cpu_res_.UseFor(cpu_.polled_ns,
+                    [this, start, epoch, user_cb, result]() {
+                      if (epoch != epoch_) return;
+                      latency_.Record(sim_->Now() - start);
+                      counters_.Increment("completed");
+                      if (user_cb) user_cb(result);
+                    });
+  };
+  cpu_res_.UseFor(cpu_.submit_ns,
+                  [this, epoch, request = std::move(request)]() mutable {
+                    if (epoch != epoch_) return;
+                    lower_->Submit(std::move(request));
+                  });
+}
+
+}  // namespace postblock::blocklayer

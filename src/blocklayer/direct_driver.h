@@ -1,0 +1,51 @@
+#ifndef POSTBLOCK_BLOCKLAYER_DIRECT_DRIVER_H_
+#define POSTBLOCK_BLOCKLAYER_DIRECT_DRIVER_H_
+
+#include <cstdint>
+
+#include "blocklayer/block_device.h"
+#include "blocklayer/cpu_model.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace postblock::blocklayer {
+
+/// Direct user-space access to the device, bypassing the block layer —
+/// the FusionIO ioMemory SDK path the paper cites: no software queue, no
+/// scheduler, no interrupt; just a thin submit cost and a polled
+/// completion cost.
+class DirectDriver : public BlockDevice {
+ public:
+  DirectDriver(sim::Simulator* sim, BlockDevice* lower,
+               const CpuCosts& cpu = CpuCosts::Direct(),
+               std::uint32_t cores = 4);
+  ~DirectDriver() override = default;
+
+  std::uint64_t num_blocks() const override { return lower_->num_blocks(); }
+  std::uint32_t block_bytes() const override {
+    return lower_->block_bytes();
+  }
+  void Submit(IoRequest request) override;
+  const Counters& counters() const override { return counters_; }
+
+  const Histogram& latency() const { return latency_; }
+  double CpuUtilization() const { return cpu_res_.Utilization(); }
+
+  /// Simulates power loss / host reset: in-flight requests are dropped.
+  void PowerCycle() { ++epoch_; }
+
+ private:
+  sim::Simulator* sim_;
+  BlockDevice* lower_;
+  CpuCosts cpu_;
+  sim::Resource cpu_res_;
+  std::uint64_t epoch_ = 0;
+  Histogram latency_;
+  Counters counters_;
+};
+
+}  // namespace postblock::blocklayer
+
+#endif  // POSTBLOCK_BLOCKLAYER_DIRECT_DRIVER_H_

@@ -1,0 +1,68 @@
+#include "blocklayer/io_scheduler.h"
+
+#include <utility>
+
+namespace postblock::blocklayer {
+
+IoScheduler::IoScheduler(SchedulerKind kind,
+                         std::uint32_t max_merged_blocks)
+    : kind_(kind), max_merged_blocks_(max_merged_blocks) {}
+
+void IoScheduler::Enqueue(IoRequest request) {
+  counters_.Increment("enqueued");
+  if (kind_ == SchedulerKind::kMerge && !queue_.empty() &&
+      (request.op == IoOp::kRead || request.op == IoOp::kWrite)) {
+    IoRequest& tail = queue_.back();
+    const bool contiguous =
+        tail.op == request.op &&
+        tail.lba + tail.nblocks == request.lba &&
+        tail.nblocks + request.nblocks <= max_merged_blocks_;
+    if (contiguous) {
+      counters_.Increment("back_merges");
+      tail.nblocks += request.nblocks;
+      for (auto t : request.tokens) tail.tokens.push_back(t);
+      // Chain the completions: both submitters hear about the merged IO.
+      IoCallback prev = std::move(tail.on_complete);
+      IoCallback next = std::move(request.on_complete);
+      const std::uint32_t head_blocks =
+          tail.nblocks - request.nblocks;
+      tail.on_complete = [prev = std::move(prev), next = std::move(next),
+                          head_blocks](const IoResult& result) {
+        if (prev) {
+          IoResult head = result;
+          if (head.tokens.size() > head_blocks) {
+            head.tokens.resize(head_blocks);
+          }
+          prev(head);
+        }
+        if (next) {
+          IoResult rest;
+          rest.status = result.status;
+          if (result.tokens.size() > head_blocks) {
+            rest.tokens.assign(result.tokens.begin() + head_blocks,
+                               result.tokens.end());
+          }
+          next(rest);
+        }
+      };
+      return;
+    }
+  }
+  queue_.push_back(std::move(request));
+}
+
+IoRequest IoScheduler::Dequeue() {
+  auto it = queue_.begin();
+  if (kind_ == SchedulerKind::kPriority) {
+    for (auto cand = queue_.begin(); cand != queue_.end(); ++cand) {
+      if (cand->priority > it->priority) it = cand;  // FIFO within class
+    }
+    if (it->priority > 0) counters_.Increment("priority_dispatches");
+  }
+  IoRequest r = std::move(*it);
+  queue_.erase(it);
+  counters_.Increment("dispatched");
+  return r;
+}
+
+}  // namespace postblock::blocklayer

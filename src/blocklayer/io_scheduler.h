@@ -1,0 +1,65 @@
+#ifndef POSTBLOCK_BLOCKLAYER_IO_SCHEDULER_H_
+#define POSTBLOCK_BLOCKLAYER_IO_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "blocklayer/request.h"
+#include "common/stats.h"
+
+namespace postblock::blocklayer {
+
+/// Software-queue policy of the block layer.
+enum class SchedulerKind {
+  kNoop = 0,  // FIFO dispatch
+  kMerge,     // FIFO + back-merge of contiguous same-op requests
+  kPriority,  // higher IoRequest::priority first, FIFO within a class
+};
+
+const char* SchedulerKindName(SchedulerKind kind);
+
+/// A single software request queue. Requests enter via Enqueue and leave
+/// via Dequeue in dispatch order; the merge scheduler coalesces a newly
+/// enqueued request into the queue tail when it extends it contiguously
+/// (the classic elevator back-merge, minus disk-oriented sorting — the
+/// paper notes sorting lost its purpose on SSDs).
+class IoScheduler {
+ public:
+  explicit IoScheduler(SchedulerKind kind,
+                       std::uint32_t max_merged_blocks = 128);
+
+  /// Takes ownership of the request. Merged requests complete their
+  /// original callbacks individually when the merged IO completes.
+  void Enqueue(IoRequest request);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t depth() const { return queue_.size(); }
+
+  /// Pops the next request to dispatch. Requires !empty().
+  IoRequest Dequeue();
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  SchedulerKind kind_;
+  std::uint32_t max_merged_blocks_;
+  std::deque<IoRequest> queue_;
+  Counters counters_;
+};
+
+inline const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kNoop:
+      return "noop";
+    case SchedulerKind::kMerge:
+      return "merge";
+    case SchedulerKind::kPriority:
+      return "priority";
+  }
+  return "?";
+}
+
+}  // namespace postblock::blocklayer
+
+#endif  // POSTBLOCK_BLOCKLAYER_IO_SCHEDULER_H_

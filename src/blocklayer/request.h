@@ -1,0 +1,66 @@
+#ifndef POSTBLOCK_BLOCKLAYER_REQUEST_H_
+#define POSTBLOCK_BLOCKLAYER_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace postblock::blocklayer {
+
+/// Operations supported by the (legacy) block device interface. Note
+/// that kTrim is already a crack in the "pure memory abstraction" — the
+/// paper's Section 3 point 2.
+enum class IoOp : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kTrim,
+  kFlush,  // drain volatile write cache
+};
+
+const char* IoOpName(IoOp op);
+
+/// Completion payload. For reads, `tokens` carries one payload token per
+/// logical block (postblock models page contents as 64-bit stamps; see
+/// flash::PageData).
+struct IoResult {
+  Status status;
+  std::vector<std::uint64_t> tokens;
+};
+
+using IoCallback = std::function<void(const IoResult&)>;
+
+/// One asynchronous block IO.
+struct IoRequest {
+  IoOp op = IoOp::kRead;
+  Lba lba = 0;
+  std::uint32_t nblocks = 1;
+  /// Payload tokens for writes; size must equal nblocks.
+  std::vector<std::uint64_t> tokens;
+  /// Scheduling priority (higher dispatches first under the priority
+  /// scheduler) — the database-IO-priority idea of the paper's ref
+  /// [13] (Hall & Bonnet): commit-critical log writes must not queue
+  /// behind lazy page flushes.
+  std::uint8_t priority = 0;
+  IoCallback on_complete;
+};
+
+inline const char* IoOpName(IoOp op) {
+  switch (op) {
+    case IoOp::kRead:
+      return "read";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kTrim:
+      return "trim";
+    case IoOp::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+}  // namespace postblock::blocklayer
+
+#endif  // POSTBLOCK_BLOCKLAYER_REQUEST_H_

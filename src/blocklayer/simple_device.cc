@@ -1,0 +1,79 @@
+#include "blocklayer/simple_device.h"
+
+#include <memory>
+#include <utility>
+
+namespace postblock::blocklayer {
+
+SimpleBlockDevice::SimpleBlockDevice(sim::Simulator* sim,
+                                     const SimpleDeviceConfig& config)
+    : sim_(sim),
+      config_(config),
+      units_(sim, "simple-dev", static_cast<int>(config.units)),
+      tokens_(config.num_blocks, 0) {}
+
+void SimpleBlockDevice::Submit(IoRequest request) {
+  counters_.Increment("requests");
+  if (request.nblocks == 0 || request.op == IoOp::kFlush) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(IoResult{Status::Ok(), {}});
+    });
+    return;
+  }
+  if (request.lba + request.nblocks > config_.num_blocks) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(
+          IoResult{Status::OutOfRange("beyond device"), {}});
+    });
+    return;
+  }
+  if (request.op == IoOp::kWrite &&
+      request.tokens.size() != request.nblocks) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(IoResult{
+          Status::InvalidArgument("write token count != nblocks"), {}});
+    });
+    return;
+  }
+  auto req = std::make_shared<IoRequest>(std::move(request));
+  sim_->Schedule(config_.controller_overhead_ns, [this, req]() {
+    struct Tracker {
+      std::uint32_t remaining;
+      std::vector<std::uint64_t> tokens;
+    };
+    auto tracker = std::make_shared<Tracker>();
+    tracker->remaining = req->nblocks;
+    if (req->op == IoOp::kRead) tracker->tokens.assign(req->nblocks, 0);
+    for (std::uint32_t i = 0; i < req->nblocks; ++i) {
+      const Lba lba = req->lba + i;
+      const SimTime service = req->op == IoOp::kRead ? config_.read_ns
+                              : req->op == IoOp::kWrite
+                                  ? config_.write_ns
+                                  : 0;
+      units_.UseFor(service, [this, req, tracker, lba, i]() {
+        switch (req->op) {
+          case IoOp::kRead:
+            tracker->tokens[i] = tokens_[lba];
+            counters_.Increment("blocks_read");
+            break;
+          case IoOp::kWrite:
+            tokens_[lba] = req->tokens[i];
+            counters_.Increment("blocks_written");
+            break;
+          case IoOp::kTrim:
+            tokens_[lba] = 0;
+            counters_.Increment("blocks_trimmed");
+            break;
+          case IoOp::kFlush:
+            break;
+        }
+        if (--tracker->remaining == 0) {
+          req->on_complete(
+              IoResult{Status::Ok(), std::move(tracker->tokens)});
+        }
+      });
+    }
+  });
+}
+
+}  // namespace postblock::blocklayer

@@ -1,0 +1,50 @@
+#ifndef POSTBLOCK_BLOCKLAYER_SIMPLE_DEVICE_H_
+#define POSTBLOCK_BLOCKLAYER_SIMPLE_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blocklayer/block_device.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace postblock::blocklayer {
+
+/// A fixed-latency block device with `units` internal parallel units:
+/// the Onyx-style PCM SSD of the paper's discussion (Section 2.4 / E11),
+/// and a handy stand-in wherever a naive "constant service time" device
+/// model is the point of comparison.
+struct SimpleDeviceConfig {
+  std::uint64_t num_blocks = 1 << 20;
+  std::uint32_t block_bytes = 4096;
+  SimTime read_ns = 10 * kMicrosecond;   // PCM-array read of 4 KiB
+  SimTime write_ns = 30 * kMicrosecond;  // PCM-array write of 4 KiB
+  std::uint32_t units = 8;               // internal parallelism
+  SimTime controller_overhead_ns = 2 * kMicrosecond;
+};
+
+class SimpleBlockDevice : public BlockDevice {
+ public:
+  SimpleBlockDevice(sim::Simulator* sim, const SimpleDeviceConfig& config);
+  ~SimpleBlockDevice() override = default;
+
+  std::uint64_t num_blocks() const override { return config_.num_blocks; }
+  std::uint32_t block_bytes() const override {
+    return config_.block_bytes;
+  }
+  void Submit(IoRequest request) override;
+  const Counters& counters() const override { return counters_; }
+
+ private:
+  sim::Simulator* sim_;
+  SimpleDeviceConfig config_;
+  sim::Resource units_;
+  std::vector<std::uint64_t> tokens_;
+  Counters counters_;
+};
+
+}  // namespace postblock::blocklayer
+
+#endif  // POSTBLOCK_BLOCKLAYER_SIMPLE_DEVICE_H_

@@ -1,0 +1,89 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace postblock {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Octave = position of highest set bit above the sub-bucket range.
+  const int msb = 63 - std::countl_zero(value);
+  const int octave = msb - kSubBucketBits + 1;
+  const int sub =
+      static_cast<int>((value >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  const int idx = octave * kSubBuckets + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+std::uint64_t Histogram::BucketMid(int index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const int msb = octave + kSubBucketBits - 1;
+  const std::uint64_t base =
+      (1ull << msb) | (static_cast<std::uint64_t>(sub) << (msb - kSubBucketBits));
+  const std::uint64_t width = 1ull << (msb - kSubBucketBits);
+  return base + width / 2;
+}
+
+void Histogram::Record(std::uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  buckets_[BucketFor(value)] += count;
+  count_ += count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target_rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target_rank && buckets_[i] > 0) {
+      return std::min(BucketMid(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(max()));
+  return buf;
+}
+
+}  // namespace postblock

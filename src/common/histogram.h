@@ -1,0 +1,61 @@
+#ifndef POSTBLOCK_COMMON_HISTOGRAM_H_
+#define POSTBLOCK_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace postblock {
+
+/// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets
+/// with linear sub-buckets). Records unsigned samples, answers count /
+/// mean / min / max / arbitrary percentiles. Used by every device model
+/// and the benchmark harness.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(std::uint64_t value);
+  void RecordN(std::uint64_t value, std::uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+  double Sum() const { return sum_; }
+
+  /// Value at percentile p in [0, 100]. Approximate (bucket midpoint);
+  /// exact for values < 64 which land in unit-width buckets.
+  std::uint64_t Percentile(double p) const;
+
+  std::uint64_t P50() const { return Percentile(50); }
+  std::uint64_t P95() const { return Percentile(95); }
+  std::uint64_t P99() const { return Percentile(99); }
+  std::uint64_t P999() const { return Percentile(99.9); }
+
+  /// One-line summary: "n=... mean=... p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 linear sub-buckets/octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int BucketFor(std::uint64_t value);
+  static std::uint64_t BucketMid(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_HISTOGRAM_H_

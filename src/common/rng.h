@@ -1,0 +1,40 @@
+#ifndef POSTBLOCK_COMMON_RNG_H_
+#define POSTBLOCK_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace postblock {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+/// Every stochastic component of the simulator takes an explicit Rng so
+/// whole-system runs are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Forks an independent stream (useful for giving each component its
+  /// own deterministic sub-stream).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_RNG_H_

@@ -1,0 +1,15 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace postblock {
+
+std::string Counters::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace postblock

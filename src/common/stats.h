@@ -1,0 +1,41 @@
+#ifndef POSTBLOCK_COMMON_STATS_H_
+#define POSTBLOCK_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace postblock {
+
+/// A named bag of monotonically increasing counters. Each subsystem
+/// exposes one; benches and tests read them to assert behaviour (e.g.
+/// write amplification = pages_programmed / host_pages_written).
+class Counters {
+ public:
+  void Add(const std::string& name, std::uint64_t delta) {
+    counters_[name] += delta;
+  }
+  void Increment(const std::string& name) { Add(name, 1); }
+
+  /// Returns 0 for unknown counters — absence means "never happened".
+  std::uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, std::uint64_t>& All() const {
+    return counters_;
+  }
+
+  /// Multi-line "name = value" dump, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_STATS_H_

@@ -1,0 +1,148 @@
+#ifndef POSTBLOCK_COMMON_STATUS_H_
+#define POSTBLOCK_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace postblock {
+
+/// Error categories used across the library. Modeled on the RocksDB /
+/// Arrow convention: the library never throws; every fallible operation
+/// returns a Status (or StatusOr<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,  // e.g. flash constraint C1-C4 violations
+  kResourceExhausted,   // e.g. no free blocks, buffer pool full
+  kDataLoss,            // e.g. uncorrectable bit errors, torn write
+  kUnavailable,         // e.g. device powered off
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value-type carrying an error code and message. Ok() is the
+/// success value; all other constructors attach a message for diagnostics.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeToString(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+inline const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PB_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::postblock::Status _pb_st = (expr);         \
+    if (!_pb_st.ok()) return _pb_st;             \
+  } while (0)
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+#ifndef POSTBLOCK_COMMON_STATUSOR_H_
+#define POSTBLOCK_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace postblock {
+
+/// Either a value of type T or a non-OK Status. Accessing value() on an
+/// error StatusOr is a programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value and from Status, mirroring absl::StatusOr — the
+  /// conversion direction is always obvious at the call site.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `expr` (a StatusOr), propagating errors; otherwise assigns
+/// the contained value to `lhs`.
+#define PB_ASSIGN_OR_RETURN(lhs, expr)          \
+  PB_ASSIGN_OR_RETURN_IMPL(                     \
+      PB_STATUS_MACRO_CONCAT(_pb_sor, __LINE__), lhs, expr)
+
+#define PB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define PB_STATUS_MACRO_CONCAT_INNER(a, b) a##b
+#define PB_STATUS_MACRO_CONCAT(a, b) PB_STATUS_MACRO_CONCAT_INNER(a, b)
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_STATUSOR_H_

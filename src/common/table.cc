@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace postblock {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::Int(std::uint64_t v) {
+  return std::to_string(v);
+}
+
+std::string Table::Time(std::uint64_t ns) {
+  char buf[64];
+  if (ns < 10'000ull) {
+    std::snprintf(buf, sizeof(buf), "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 10'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000ull) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string Table::Rate(double bytes_per_sec) {
+  char buf[64];
+  if (bytes_per_sec < 1024.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB/s", bytes_per_sec / 1024);
+  } else if (bytes_per_sec < 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB/s",
+                  bytes_per_sec / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB/s",
+                  bytes_per_sec / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c]
+         << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  std::ostringstream os;
+  emit_row(os, headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+void Table::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace postblock

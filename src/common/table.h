@@ -1,0 +1,37 @@
+#ifndef POSTBLOCK_COMMON_TABLE_H_
+#define POSTBLOCK_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace postblock {
+
+/// Markdown-ish fixed-width table printer used by the benchmark harness
+/// so every bench prints rows/series in the same shape the paper reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(std::uint64_t v);
+  /// Nanoseconds rendered with an adaptive unit (ns/us/ms/s).
+  static std::string Time(std::uint64_t ns);
+  /// Bytes/second rendered with an adaptive unit (KiB/s .. GiB/s).
+  static std::string Rate(double bytes_per_sec);
+
+  /// Renders the table with padded columns.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_TABLE_H_

@@ -1,0 +1,114 @@
+#include "core/atomic_write.h"
+
+#include <memory>
+
+namespace postblock::core {
+
+AtomicWriter::AtomicWriter(sim::Simulator* sim, ftl::PageFtl* ftl)
+    : sim_(sim), ftl_(ftl) {}
+
+void AtomicWriter::WriteAtomic(
+    std::vector<std::pair<Lba, std::uint64_t>> pages,
+    std::function<void(Status)> cb) {
+  const SimTime start = sim_->Now();
+  counters_.Increment("atomic_writes");
+  counters_.Add("pages", pages.size());
+  ftl_->WriteAtomic(std::move(pages),
+                    [this, start, cb = std::move(cb)](Status st) {
+                      latency_.Record(sim_->Now() - start);
+                      cb(std::move(st));
+                    });
+}
+
+JournaledAtomicWriter::JournaledAtomicWriter(sim::Simulator* sim,
+                                             blocklayer::BlockDevice* dev,
+                                             Lba journal_start,
+                                             std::uint64_t journal_blocks)
+    : sim_(sim),
+      dev_(dev),
+      journal_start_(journal_start),
+      journal_blocks_(journal_blocks) {}
+
+void JournaledAtomicWriter::WriteBatch(
+    std::vector<std::pair<Lba, std::uint64_t>> pages,
+    std::function<void(Status)> done) {
+  auto tracker = std::make_shared<std::pair<std::size_t, Status>>(
+      pages.size(), Status::Ok());
+  for (const auto& [lba, token] : pages) {
+    blocklayer::IoRequest w;
+    w.op = blocklayer::IoOp::kWrite;
+    w.lba = lba;
+    w.nblocks = 1;
+    w.tokens = {token};
+    w.on_complete = [tracker, done](const blocklayer::IoResult& r) {
+      if (!r.status.ok() && tracker->second.ok()) {
+        tracker->second = r.status;
+      }
+      if (--tracker->first == 0) done(tracker->second);
+    };
+    dev_->Submit(std::move(w));
+  }
+}
+
+void JournaledAtomicWriter::Flush(std::function<void(Status)> done) {
+  blocklayer::IoRequest f;
+  f.op = blocklayer::IoOp::kFlush;
+  f.nblocks = 1;
+  f.on_complete = [done = std::move(done)](const blocklayer::IoResult& r) {
+    done(r.status);
+  };
+  dev_->Submit(std::move(f));
+}
+
+void JournaledAtomicWriter::WriteAtomic(
+    std::vector<std::pair<Lba, std::uint64_t>> pages,
+    std::function<void(Status)> cb) {
+  const SimTime start = sim_->Now();
+  counters_.Increment("atomic_writes");
+  counters_.Add("pages", pages.size());
+
+  // Phase 1: journal copies (descriptor + data + commit record).
+  std::vector<std::pair<Lba, std::uint64_t>> journal;
+  journal.reserve(pages.size() + 2);
+  auto jslot = [this]() {
+    return journal_start_ + (journal_head_++ % journal_blocks_);
+  };
+  journal.emplace_back(jslot(), /*descriptor token*/ 0xDE5C);
+  for (const auto& p : pages) journal.emplace_back(jslot(), p.second);
+  journal.emplace_back(jslot(), /*commit token*/ 0xC0117);
+  counters_.Add("journal_writes", journal.size());
+
+  auto home = std::make_shared<std::vector<std::pair<Lba, std::uint64_t>>>(
+      std::move(pages));
+  WriteBatch(std::move(journal), [this, home, start,
+                                  cb = std::move(cb)](Status st) mutable {
+    if (!st.ok()) {
+      latency_.Record(sim_->Now() - start);
+      cb(std::move(st));
+      return;
+    }
+    Flush([this, home, start, cb = std::move(cb)](Status st2) mutable {
+      if (!st2.ok()) {
+        latency_.Record(sim_->Now() - start);
+        cb(std::move(st2));
+        return;
+      }
+      // Phase 2: home-location writes, then the final barrier.
+      counters_.Add("home_writes", home->size());
+      WriteBatch(std::move(*home),
+                 [this, start, cb = std::move(cb)](Status st3) mutable {
+                   if (!st3.ok()) {
+                     latency_.Record(sim_->Now() - start);
+                     cb(std::move(st3));
+                     return;
+                   }
+                   Flush([this, start, cb = std::move(cb)](Status st4) {
+                     latency_.Record(sim_->Now() - start);
+                     cb(std::move(st4));
+                   });
+                 });
+    });
+  });
+}
+
+}  // namespace postblock::core

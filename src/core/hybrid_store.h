@@ -1,0 +1,87 @@
+#ifndef POSTBLOCK_CORE_HYBRID_STORE_H_
+#define POSTBLOCK_CORE_HYBRID_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "blocklayer/block_device.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/pcm_log.h"
+#include "sim/simulator.h"
+
+namespace postblock::core {
+
+/// The paper's Section 3 storage architecture in one object: keep
+/// synchronous and asynchronous persistence patterns separate (Mohan's
+/// suggestion, ref [16]).
+///
+///   - SyncPersist(record): the commit-critical path. In *vision* mode
+///     it is a PCM log append over the memory bus (hundreds of ns); in
+///     *classic* mode it is a 4 KiB log-block write + flush through the
+///     block device interface (hundreds of us) — records are padded to a
+///     whole block because the interface has no smaller unit.
+///   - SubmitAsync(request): lazy writes, prefetching, reads — always
+///     the block-granular device path.
+class HybridStore {
+ public:
+  /// Vision wiring: sync -> PCM log, async -> `data_path`.
+  HybridStore(sim::Simulator* sim, blocklayer::BlockDevice* data_path,
+              PcmLog* pcm_log);
+
+  /// Classic wiring: sync -> a reserved LBA region of `data_path`
+  /// (round-robin log blocks, flush after every record), async -> the
+  /// same device.
+  HybridStore(sim::Simulator* sim, blocklayer::BlockDevice* data_path,
+              Lba log_region_start, std::uint64_t log_region_blocks);
+
+  HybridStore(const HybridStore&) = delete;
+  HybridStore& operator=(const HybridStore&) = delete;
+
+  bool vision_mode() const { return pcm_log_ != nullptr; }
+
+  /// Durably persists one record; callback fires when it would survive
+  /// power loss.
+  void SyncPersist(std::vector<std::uint8_t> record,
+                   std::function<void(Status)> cb);
+
+  /// Forwards to the data path.
+  void SubmitAsync(blocklayer::IoRequest request);
+
+  /// All records whose SyncPersist completed (i.e. that would survive a
+  /// crash), in persist order. Vision mode scans the PCM log region;
+  /// classic mode reflects the log blocks on the device.
+  std::vector<std::vector<std::uint8_t>> DurableRecords() const;
+
+  /// Resets the log after a checkpoint. Durable when the callback fires.
+  void TruncateLog(std::function<void(Status)> cb);
+
+  blocklayer::BlockDevice* data_path() { return data_path_; }
+  PcmLog* pcm_log() { return pcm_log_; }
+
+  const Histogram& sync_latency() const { return sync_latency_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  sim::Simulator* sim_;
+  blocklayer::BlockDevice* data_path_;
+  PcmLog* pcm_log_ = nullptr;
+
+  // Classic-mode log region state.
+  Lba log_region_start_ = 0;
+  std::uint64_t log_region_blocks_ = 0;
+  std::uint64_t log_head_block_ = 0;
+  std::uint64_t next_log_token_ = 1;
+  /// Classic mode: the records whose log-block write + flush completed.
+  /// (Models reading the log region back; the device only stores tokens.)
+  std::vector<std::vector<std::uint8_t>> classic_durable_;
+
+  Histogram sync_latency_;
+  Counters counters_;
+};
+
+}  // namespace postblock::core
+
+#endif  // POSTBLOCK_CORE_HYBRID_STORE_H_

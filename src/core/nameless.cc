@@ -1,0 +1,94 @@
+#include "core/nameless.h"
+
+#include <utility>
+
+namespace postblock::core {
+
+NamelessStore::NamelessStore(sim::Simulator* sim, ftl::PageFtl* ftl)
+    : sim_(sim), ftl_(ftl) {
+  for (Lba slot = 0; slot < ftl_->user_pages(); ++slot) {
+    free_slots_.push_back(slot);
+  }
+  ftl_->SetMigrationListener(
+      [this](Lba lba, flash::Ppa from, flash::Ppa to) {
+        OnMigration(lba, from, to);
+      });
+}
+
+void NamelessStore::Write(std::uint64_t token,
+                          std::function<void(StatusOr<Name>)> cb) {
+  if (free_slots_.empty()) {
+    sim_->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::ResourceExhausted("nameless store full"));
+    });
+    return;
+  }
+  const Lba slot = free_slots_.front();
+  free_slots_.pop_front();
+  counters_.Increment("writes");
+  ftl_->Write(slot, token, [this, slot, cb = std::move(cb)](Status st) {
+    if (!st.ok()) {
+      free_slots_.push_back(slot);
+      cb(std::move(st));
+      return;
+    }
+    const auto ppa = ftl_->Locate(slot);
+    if (!ppa.has_value()) {
+      free_slots_.push_back(slot);
+      cb(Status::Internal("nameless write left no mapping"));
+      return;
+    }
+    const Name name =
+        ppa->Flatten(ftl_->controller()->config().geometry);
+    name_to_slot_[name] = slot;
+    slot_to_name_[slot] = name;
+    cb(name);
+  });
+}
+
+void NamelessStore::Read(Name name,
+                         std::function<void(StatusOr<std::uint64_t>)> cb) {
+  auto it = name_to_slot_.find(name);
+  if (it == name_to_slot_.end()) {
+    sim_->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::NotFound("unknown name"));
+    });
+    return;
+  }
+  counters_.Increment("reads");
+  ftl_->Read(it->second, std::move(cb));
+}
+
+void NamelessStore::Free(Name name, std::function<void(Status)> cb) {
+  auto it = name_to_slot_.find(name);
+  if (it == name_to_slot_.end()) {
+    sim_->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::NotFound("unknown name"));
+    });
+    return;
+  }
+  const Lba slot = it->second;
+  name_to_slot_.erase(it);
+  slot_to_name_.erase(slot);
+  counters_.Increment("frees");
+  ftl_->Trim(slot, [this, slot, cb = std::move(cb)](Status st) {
+    free_slots_.push_back(slot);
+    cb(std::move(st));
+  });
+}
+
+void NamelessStore::OnMigration(Lba lba, flash::Ppa from, flash::Ppa to) {
+  auto it = slot_to_name_.find(lba);
+  if (it == slot_to_name_.end()) return;
+  const auto& geometry = ftl_->controller()->config().geometry;
+  const Name old_name = from.Flatten(geometry);
+  const Name new_name = to.Flatten(geometry);
+  if (it->second != old_name) return;  // stale notification
+  counters_.Increment("migrations");
+  it->second = new_name;
+  name_to_slot_.erase(old_name);
+  name_to_slot_[new_name] = lba;
+  if (handler_) handler_(old_name, new_name);
+}
+
+}  // namespace postblock::core

@@ -1,0 +1,71 @@
+#ifndef POSTBLOCK_CORE_NAMELESS_H_
+#define POSTBLOCK_CORE_NAMELESS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "ftl/page_ftl.h"
+#include "sim/simulator.h"
+
+namespace postblock::core {
+
+/// Nameless writes (the paper calls them "interesting" for space
+/// allocation once extent-based allocation dies): the host writes data
+/// *without naming an address*; the device picks the location and
+/// returns its name. The host stores names instead of keeping its own
+/// allocation map, and — because device and host are now communicating
+/// peers — the device *calls back* when GC or wear leveling moves a
+/// page, so the host can update its name.
+class NamelessStore {
+ public:
+  /// An opaque device-issued name (here: the flattened physical page
+  /// address at grant time).
+  using Name = std::uint64_t;
+
+  /// Fired when the device relocates a named page: (old name, new name).
+  using MigrationHandler = std::function<void(Name, Name)>;
+
+  explicit NamelessStore(sim::Simulator* sim, ftl::PageFtl* ftl);
+
+  NamelessStore(const NamelessStore&) = delete;
+  NamelessStore& operator=(const NamelessStore&) = delete;
+
+  /// Writes one page anywhere; the callback delivers its name.
+  void Write(std::uint64_t token, std::function<void(StatusOr<Name>)> cb);
+
+  /// Reads a page by name.
+  void Read(Name name, std::function<void(StatusOr<std::uint64_t>)> cb);
+
+  /// Releases a named page (the trim analogue).
+  void Free(Name name, std::function<void(Status)> cb);
+
+  void SetMigrationHandler(MigrationHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Pages currently named.
+  std::size_t live() const { return name_to_slot_.size(); }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void OnMigration(Lba lba, flash::Ppa from, flash::Ppa to);
+
+  sim::Simulator* sim_;
+  ftl::PageFtl* ftl_;
+  /// Internal slot pool: the device-side bookkeeping a nameless FTL
+  /// still needs (one slot per live page, not per LBA).
+  std::deque<Lba> free_slots_;
+  std::unordered_map<Name, Lba> name_to_slot_;
+  std::unordered_map<Lba, Name> slot_to_name_;
+  MigrationHandler handler_;
+  Counters counters_;
+};
+
+}  // namespace postblock::core
+
+#endif  // POSTBLOCK_CORE_NAMELESS_H_

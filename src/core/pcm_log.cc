@@ -1,0 +1,115 @@
+#include "core/pcm_log.h"
+
+#include <cstring>
+#include <utility>
+
+namespace postblock::core {
+
+PcmLog::PcmLog(sim::Simulator* sim, pcm::PcmDevice* pcm,
+               std::uint64_t region_off, std::uint64_t region_len)
+    : sim_(sim), pcm_(pcm), region_off_(region_off),
+      region_len_(region_len) {}
+
+void PcmLog::Append(std::vector<std::uint8_t> payload,
+                    std::function<void(StatusOr<Lsn>)> cb) {
+  queue_.push_back(
+      PendingAppend{std::move(payload), std::move(cb), sim_->Now()});
+  PumpQueue();
+}
+
+void PcmLog::PumpQueue() {
+  if (store_in_flight_ || queue_.empty()) return;
+  PendingAppend item = std::move(queue_.front());
+  queue_.pop_front();
+
+  const std::uint64_t need =
+      kHeaderBytes + item.payload.size() + kHeaderBytes;
+  if (head_ + need > region_len_) {
+    counters_.Increment("append_full");
+    sim_->Schedule(0, [this, cb = std::move(item.cb)]() {
+      cb(Status::ResourceExhausted("pcm log region full"));
+      PumpQueue();
+    });
+    return;
+  }
+  const Lsn lsn = head_;
+  const std::uint32_t len = static_cast<std::uint32_t>(item.payload.size());
+  const std::uint32_t rec_seq = next_rec_seq_++;
+
+  // One store covers header + payload + the new zero terminator; the
+  // next append overwrites that terminator in place (no erase on PCM).
+  std::vector<std::uint8_t> buf(
+      kHeaderBytes + item.payload.size() + kHeaderBytes, 0);
+  std::memcpy(buf.data(), &len, sizeof(len));
+  std::memcpy(buf.data() + sizeof(len), &rec_seq, sizeof(rec_seq));
+  std::memcpy(buf.data() + kHeaderBytes, item.payload.data(),
+              item.payload.size());
+  head_ += kHeaderBytes + item.payload.size();
+
+  counters_.Increment("appends");
+  counters_.Add("bytes_appended", item.payload.size());
+  store_in_flight_ = true;
+  pcm_->Write(region_off_ + lsn, std::move(buf),
+              [this, lsn, start = item.enqueued_at,
+               cb = std::move(item.cb)](Status st) {
+                store_in_flight_ = false;
+                append_latency_.Record(sim_->Now() - start);
+                if (!st.ok()) {
+                  cb(std::move(st));
+                } else {
+                  cb(lsn);
+                }
+                PumpQueue();
+              });
+}
+
+void PcmLog::Truncate(std::function<void(Status)> cb) {
+  head_ = 0;
+  counters_.Increment("truncates");
+  std::vector<std::uint8_t> zero(kHeaderBytes, 0);
+  pcm_->Write(region_off_, std::move(zero), std::move(cb));
+}
+
+std::vector<std::vector<std::uint8_t>> PcmLog::RecoverAll() const {
+  std::vector<std::vector<std::uint8_t>> out;
+  std::uint64_t off = 0;
+  for (;;) {
+    if (off + kHeaderBytes > region_len_) break;
+    auto header = pcm_->Peek(region_off_ + off, kHeaderBytes);
+    if (!header.ok()) break;
+    std::uint32_t len = 0;
+    std::uint32_t rec_seq = 0;
+    std::memcpy(&len, header->data(), sizeof(len));
+    std::memcpy(&rec_seq, header->data() + sizeof(len), sizeof(rec_seq));
+    if (len == 0 || rec_seq == 0) break;  // terminator
+    if (off + kHeaderBytes + len > region_len_) break;  // corrupt tail
+    auto payload = pcm_->Peek(region_off_ + off + kHeaderBytes, len);
+    if (!payload.ok()) break;
+    out.push_back(std::move(*payload));
+    off += kHeaderBytes + len;
+  }
+  return out;
+}
+
+void PcmLog::ResetAfterCrash() {
+  queue_.clear();
+  store_in_flight_ = false;
+  // Rewind the head to the durable chain's end.
+  std::uint64_t off = 0;
+  for (;;) {
+    if (off + kHeaderBytes > region_len_) break;
+    auto header = pcm_->Peek(region_off_ + off, kHeaderBytes);
+    if (!header.ok()) break;
+    std::uint32_t len = 0;
+    std::uint32_t rec_seq = 0;
+    std::memcpy(&len, header->data(), sizeof(len));
+    std::memcpy(&rec_seq, header->data() + sizeof(len), sizeof(rec_seq));
+    if (len == 0 || rec_seq == 0) break;
+    if (off + kHeaderBytes + len > region_len_) break;
+    off += kHeaderBytes + len;
+  }
+  head_ = off;
+  counters_.Increment("crash_resets");
+}
+
+}  // namespace postblock::core

@@ -1,0 +1,76 @@
+#ifndef POSTBLOCK_DB_BTREE_H_
+#define POSTBLOCK_DB_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "db/buffer_pool.h"
+#include "db/page.h"
+#include "sim/simulator.h"
+
+namespace postblock::db {
+
+/// Disk-resident B+-tree (uint64 key -> uint64 value) over the buffer
+/// pool. Single-pass inserts with preemptive splits; deletes drop leaf
+/// entries without rebalancing (underflow tolerated — the common
+/// engineering simplification); leaves are chained for range scans.
+///
+/// All operations are asynchronous: page misses become block-device
+/// reads in simulated time, so tree traffic shares the IO stack with
+/// everything else — exactly the DB workload the paper routes through
+/// its redesigned storage interface.
+class BTree {
+ public:
+  using StatusCb = std::function<void(Status)>;
+  using GetCb = std::function<void(StatusOr<std::uint64_t>)>;  // NotFound
+  using ScanCb = std::function<void(
+      StatusOr<std::vector<std::pair<std::uint64_t, std::uint64_t>>>)>;
+
+  BTree(sim::Simulator* sim, BufferPool* pool,
+        std::function<PageId()> alloc_page);
+
+  /// Formats a fresh root leaf. The tree is unusable before Create/Open.
+  void Create(StatusCb cb);
+  /// Attaches to an existing tree (after recovery).
+  void Open(PageId root) { root_ = root; }
+  PageId root() const { return root_; }
+
+  void Put(std::uint64_t key, std::uint64_t value, StatusCb cb);
+  void Get(std::uint64_t key, GetCb cb);
+  void Delete(std::uint64_t key, StatusCb cb);
+  /// All pairs with lo <= key <= hi, in key order.
+  void Scan(std::uint64_t lo, std::uint64_t hi, ScanCb cb);
+
+  const Counters& counters() const { return counters_; }
+
+  // Node capacities (exposed for tests that exercise splits).
+  static constexpr std::uint32_t kLeafHeader = 16;
+  static constexpr std::uint32_t kLeafCapacity =
+      (kPageBytes - kLeafHeader) / 16;
+  static constexpr std::uint32_t kInternalHeader = 24;
+  static constexpr std::uint32_t kInternalCapacity =
+      (kPageBytes - kInternalHeader) / 16;
+
+ private:
+  void DescendPut(Frame* parent, std::uint64_t key, std::uint64_t value,
+                  StatusCb cb);
+  void SplitChild(Frame* parent, std::uint32_t child_index, Frame* child,
+                  StatusCb on_done);
+  void SplitRootAndRetryPut(Frame* root, std::uint64_t key,
+                            std::uint64_t value, StatusCb cb);
+
+  sim::Simulator* sim_;
+  BufferPool* pool_;
+  std::function<PageId()> alloc_page_;
+  PageId root_ = kInvalidPageId;
+  Counters counters_;
+};
+
+}  // namespace postblock::db
+
+#endif  // POSTBLOCK_DB_BTREE_H_

@@ -1,0 +1,212 @@
+#include "db/buffer_pool.h"
+
+#include <utility>
+
+namespace postblock::db {
+
+BufferPool::BufferPool(sim::Simulator* sim,
+                       blocklayer::BlockDevice* device,
+                       PageImageStore* images, std::size_t frames,
+                       bool allow_steal)
+    : sim_(sim),
+      device_(device),
+      images_(images),
+      capacity_(frames),
+      allow_steal_(allow_steal) {}
+
+std::size_t BufferPool::dirty_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, f] : frames_) n += f->dirty;
+  return n;
+}
+
+void BufferPool::Touch(PageId id) {
+  auto it = lru_pos_.find(id);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(id);
+  lru_pos_[id] = lru_.begin();
+}
+
+void BufferPool::Pin(PageId id, PinCallback cb) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    counters_.Increment("hits");
+    ++it->second->pins;
+    Touch(id);
+    cb(it->second.get());
+    return;
+  }
+  auto [lit, first] = loading_.try_emplace(id);
+  lit->second.push_back(std::move(cb));
+  if (!first) {
+    counters_.Increment("miss_waits");  // piggyback on in-flight load
+    return;
+  }
+  counters_.Increment("misses");
+
+  // Make room. Eviction is synchronous bookkeeping; in no-steal mode a
+  // fully dirty pool is a configuration error surfaced to the caller.
+  while (frames_.size() + loading_.size() > capacity_) {
+    if (!EvictOne()) {
+      auto waiters = std::move(loading_[id]);
+      loading_.erase(id);
+      for (auto& w : waiters) {
+        w(Status::ResourceExhausted(
+            "buffer pool full of pinned/dirty pages (no-steal)"));
+      }
+      return;
+    }
+  }
+  LoadFrame(id);
+}
+
+bool BufferPool::EvictOne() {
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    const PageId victim = *rit;
+    auto fit = frames_.find(victim);
+    if (fit == frames_.end()) continue;
+    Frame* f = fit->second.get();
+    if (f->pins > 0) continue;
+    if (f->dirty && !allow_steal_) continue;
+    if (f->dirty) {
+      // Steal mode: asynchronous write-back, frame leaves immediately
+      // (the image registry keeps the bytes alive for the IO).
+      counters_.Increment("steals");
+      const std::uint64_t token = images_->Register(f->bytes);
+      blocklayer::IoRequest w;
+      w.op = blocklayer::IoOp::kWrite;
+      w.lba = victim;
+      w.nblocks = 1;
+      w.tokens = {token};
+      w.on_complete = [](const blocklayer::IoResult&) {};
+      device_->Submit(std::move(w));
+    }
+    counters_.Increment("evictions");
+    lru_.erase(lru_pos_[victim]);
+    lru_pos_.erase(victim);
+    frames_.erase(fit);
+    return true;
+  }
+  return false;
+}
+
+void BufferPool::LoadFrame(PageId id) {
+  blocklayer::IoRequest r;
+  r.op = blocklayer::IoOp::kRead;
+  r.lba = id;
+  r.nblocks = 1;
+  r.on_complete = [this, id](const blocklayer::IoResult& res) {
+    auto waiters = std::move(loading_[id]);
+    loading_.erase(id);
+    if (!res.status.ok()) {
+      for (auto& w : waiters) w(res.status);
+      return;
+    }
+    auto frame = std::make_unique<Frame>();
+    frame->id = id;
+    const std::vector<std::uint8_t>* image =
+        images_->Fetch(res.tokens.empty() ? 0 : res.tokens[0]);
+    frame->bytes = image != nullptr
+                       ? *image
+                       : std::vector<std::uint8_t>(kPageBytes, 0);
+    frame->pins = static_cast<int>(waiters.size());
+    Frame* raw = frame.get();
+    frames_[id] = std::move(frame);
+    Touch(id);
+    for (auto& w : waiters) w(raw);
+  };
+  device_->Submit(std::move(r));
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  Frame* f = it->second.get();
+  if (f->pins > 0) --f->pins;
+  if (dirty) f->dirty = true;
+}
+
+void BufferPool::FlushPage(PageId id, std::function<void(Status)> cb) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || !it->second->dirty) {
+    sim_->Schedule(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+    return;
+  }
+  Frame* f = it->second.get();
+  const std::uint64_t token = images_->Register(f->bytes);
+  counters_.Increment("writebacks");
+  blocklayer::IoRequest w;
+  w.op = blocklayer::IoOp::kWrite;
+  w.lba = id;
+  w.nblocks = 1;
+  w.tokens = {token};
+  w.on_complete = [this, id, cb = std::move(cb)](
+                      const blocklayer::IoResult& res) {
+    if (res.status.ok()) {
+      auto it = frames_.find(id);
+      if (it != frames_.end()) it->second->dirty = false;
+    }
+    cb(res.status);
+  };
+  device_->Submit(std::move(w));
+}
+
+void BufferPool::FlushAll(std::function<void(Status)> cb) {
+  std::vector<PageId> dirty;
+  for (const auto& [id, f] : frames_) {
+    if (f->dirty) dirty.push_back(id);
+  }
+  auto state = std::make_shared<std::pair<std::size_t, Status>>(
+      dirty.size(), Status::Ok());
+  auto barrier = [this, cb = std::move(cb)](Status st) {
+    if (!st.ok()) {
+      cb(std::move(st));
+      return;
+    }
+    blocklayer::IoRequest f;
+    f.op = blocklayer::IoOp::kFlush;
+    f.nblocks = 1;
+    f.on_complete = [cb](const blocklayer::IoResult& r) { cb(r.status); };
+    device_->Submit(std::move(f));
+  };
+  if (dirty.empty()) {
+    barrier(Status::Ok());
+    return;
+  }
+  for (PageId id : dirty) {
+    FlushPage(id, [state, barrier](Status st) {
+      if (!st.ok() && state->second.ok()) state->second = st;
+      if (--state->first == 0) barrier(state->second);
+    });
+  }
+}
+
+std::vector<Frame*> BufferPool::DirtyFrames() {
+  std::vector<Frame*> out;
+  for (const auto& [id, f] : frames_) {
+    if (f->dirty) out.push_back(f.get());
+  }
+  return out;
+}
+
+void BufferPool::PowerCycle() {
+  frames_.clear();
+  lru_.clear();
+  lru_pos_.clear();
+  loading_.clear();
+  counters_.Increment("power_cycles");
+}
+
+void BufferPool::InvalidateClean() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (!it->second->dirty && it->second->pins == 0) {
+      lru_.erase(lru_pos_[it->first]);
+      lru_pos_.erase(it->first);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace postblock::db

@@ -1,0 +1,68 @@
+// Crash recovery for db::StorageManager: attach to the last durable
+// checkpoint (meta page), then redo every durable WAL batch in commit
+// order. Redo is logical (B+-tree put/delete), which is sound because
+// the buffer pool runs no-steal and updates are deferred past WAL
+// durability — the on-device tree is always exactly the last checkpoint
+// (see DESIGN.md §4 invariants).
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "db/storage_manager.h"
+
+namespace postblock::db {
+
+/// Drives the asynchronous replay: one WAL batch at a time, each batch's
+/// ops applied in order.
+struct RecoveryDriver {
+  StorageManager* manager;
+  std::vector<WalBatch> batches;
+  std::size_t index = 0;
+  StorageManager::StatusCb cb;
+
+  static void Run(std::shared_ptr<RecoveryDriver> self) {
+    if (self->index >= self->batches.size()) {
+      self->manager->counters_.Add("recovered_batches",
+                                   self->batches.size());
+      self->cb(Status::Ok());
+      return;
+    }
+    auto ops = std::make_shared<std::vector<WalOp>>(
+        std::move(self->batches[self->index].ops));
+    ++self->index;
+    self->manager->ApplyOps(ops, 0, [self](Status st) {
+      if (!st.ok()) {
+        self->cb(std::move(st));
+        return;
+      }
+      Run(self);
+    });
+  }
+};
+
+void StorageManager::Recover(StatusCb cb) {
+  counters_.Increment("recoveries");
+  pool_->Pin(0, [this, cb = std::move(cb)](StatusOr<Frame*> meta) mutable {
+    if (!meta.ok()) {
+      cb(meta.status());
+      return;
+    }
+    PageView view(&(*meta)->bytes);
+    if (view.type() != PageType::kMeta) {
+      pool_->Unpin(0, false);
+      cb(Status::DataLoss("meta page missing or corrupt"));
+      return;
+    }
+    ReadMetaFrom(*meta);
+    pool_->Unpin(0, false);
+
+    auto driver = std::make_shared<RecoveryDriver>();
+    driver->manager = this;
+    driver->batches = wal_->Recover();
+    driver->cb = std::move(cb);
+    RecoveryDriver::Run(std::move(driver));
+  });
+}
+
+}  // namespace postblock::db

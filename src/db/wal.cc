@@ -1,0 +1,74 @@
+#include "db/wal.h"
+
+#include <cstring>
+
+namespace postblock::db {
+
+namespace {
+constexpr std::uint32_t kBatchMagic = 0x57414C42;  // "WALB"
+}  // namespace
+
+std::vector<std::uint8_t> EncodeBatch(const WalBatch& batch) {
+  std::vector<std::uint8_t> out(4 + 8 + 4 + batch.ops.size() * 17);
+  std::size_t off = 0;
+  std::memcpy(out.data() + off, &kBatchMagic, 4);
+  off += 4;
+  std::memcpy(out.data() + off, &batch.txn_id, 8);
+  off += 8;
+  const std::uint32_t count = static_cast<std::uint32_t>(batch.ops.size());
+  std::memcpy(out.data() + off, &count, 4);
+  off += 4;
+  for (const WalOp& op : batch.ops) {
+    out[off++] = static_cast<std::uint8_t>(op.kind);
+    std::memcpy(out.data() + off, &op.key, 8);
+    off += 8;
+    std::memcpy(out.data() + off, &op.value, 8);
+    off += 8;
+  }
+  return out;
+}
+
+bool DecodeBatch(const std::vector<std::uint8_t>& bytes, WalBatch* out) {
+  if (bytes.size() < 16) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  if (magic != kBatchMagic) return false;
+  std::memcpy(&out->txn_id, bytes.data() + 4, 8);
+  std::uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 12, 4);
+  if (bytes.size() < 16 + static_cast<std::size_t>(count) * 17) {
+    return false;
+  }
+  out->ops.clear();
+  out->ops.reserve(count);
+  std::size_t off = 16;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WalOp op;
+    op.kind = static_cast<WalOp::Kind>(bytes[off++]);
+    std::memcpy(&op.key, bytes.data() + off, 8);
+    off += 8;
+    std::memcpy(&op.value, bytes.data() + off, 8);
+    off += 8;
+    out->ops.push_back(op);
+  }
+  return true;
+}
+
+void Wal::Commit(const WalBatch& batch, std::function<void(Status)> cb) {
+  counters_.Increment("commits");
+  counters_.Add("ops_logged", batch.ops.size());
+  store_->SyncPersist(EncodeBatch(batch), std::move(cb));
+}
+
+std::vector<WalBatch> Wal::Recover() const {
+  std::vector<WalBatch> out;
+  for (const auto& record : store_->DurableRecords()) {
+    WalBatch batch;
+    if (DecodeBatch(record, &batch)) {
+      out.push_back(std::move(batch));
+    }
+  }
+  return out;
+}
+
+}  // namespace postblock::db

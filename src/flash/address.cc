@@ -1,0 +1,59 @@
+#include "flash/address.h"
+
+#include <cstdio>
+
+namespace postblock::flash {
+
+std::uint64_t BlockAddr::Flatten(const Geometry& g) const {
+  return (static_cast<std::uint64_t>(GlobalLun(g)) * g.planes_per_lun +
+          plane) *
+             g.blocks_per_plane +
+         block;
+}
+
+BlockAddr BlockAddr::FromFlat(const Geometry& g, std::uint64_t flat) {
+  BlockAddr a;
+  a.block = static_cast<std::uint32_t>(flat % g.blocks_per_plane);
+  flat /= g.blocks_per_plane;
+  a.plane = static_cast<std::uint32_t>(flat % g.planes_per_lun);
+  flat /= g.planes_per_lun;
+  const auto global_lun = static_cast<std::uint32_t>(flat);
+  a.channel = global_lun / g.luns_per_channel;
+  a.lun = global_lun % g.luns_per_channel;
+  return a;
+}
+
+std::string BlockAddr::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ch%u/lun%u/pl%u/blk%u", channel, lun,
+                plane, block);
+  return buf;
+}
+
+std::uint64_t Ppa::Flatten(const Geometry& g) const {
+  return Block().Flatten(g) * g.pages_per_block + page;
+}
+
+Ppa Ppa::FromFlat(const Geometry& g, std::uint64_t flat) {
+  const auto page = static_cast<std::uint32_t>(flat % g.pages_per_block);
+  const BlockAddr b = BlockAddr::FromFlat(g, flat / g.pages_per_block);
+  return Ppa{b.channel, b.lun, b.plane, b.block, page};
+}
+
+std::string Ppa::ToString() const {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "ch%u/lun%u/pl%u/blk%u/pg%u", channel, lun,
+                plane, block, page);
+  return buf;
+}
+
+bool InBounds(const Geometry& g, const BlockAddr& a) {
+  return a.channel < g.channels && a.lun < g.luns_per_channel &&
+         a.plane < g.planes_per_lun && a.block < g.blocks_per_plane;
+}
+
+bool InBounds(const Geometry& g, const Ppa& a) {
+  return InBounds(g, a.Block()) && a.page < g.pages_per_block;
+}
+
+}  // namespace postblock::flash

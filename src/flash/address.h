@@ -1,0 +1,58 @@
+#ifndef POSTBLOCK_FLASH_ADDRESS_H_
+#define POSTBLOCK_FLASH_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "flash/geometry.h"
+
+namespace postblock::flash {
+
+/// Physical address of one flash block.
+struct BlockAddr {
+  std::uint32_t channel = 0;
+  std::uint32_t lun = 0;    // within channel
+  std::uint32_t plane = 0;  // within LUN
+  std::uint32_t block = 0;  // within plane
+
+  friend bool operator==(const BlockAddr&, const BlockAddr&) = default;
+
+  /// Index of the owning LUN in [0, geometry.luns()).
+  std::uint32_t GlobalLun(const Geometry& g) const {
+    return channel * g.luns_per_channel + lun;
+  }
+  /// Dense index in [0, geometry.total_blocks()).
+  std::uint64_t Flatten(const Geometry& g) const;
+  static BlockAddr FromFlat(const Geometry& g, std::uint64_t flat);
+
+  std::string ToString() const;
+};
+
+/// Physical address of one flash page (the paper's PPA).
+struct Ppa {
+  std::uint32_t channel = 0;
+  std::uint32_t lun = 0;
+  std::uint32_t plane = 0;
+  std::uint32_t block = 0;
+  std::uint32_t page = 0;  // within block
+
+  friend bool operator==(const Ppa&, const Ppa&) = default;
+
+  BlockAddr Block() const { return {channel, lun, plane, block}; }
+  std::uint32_t GlobalLun(const Geometry& g) const {
+    return channel * g.luns_per_channel + lun;
+  }
+  /// Dense index in [0, geometry.total_pages()).
+  std::uint64_t Flatten(const Geometry& g) const;
+  static Ppa FromFlat(const Geometry& g, std::uint64_t flat);
+
+  std::string ToString() const;
+};
+
+/// Validates that the address components fit the geometry.
+bool InBounds(const Geometry& g, const BlockAddr& a);
+bool InBounds(const Geometry& g, const Ppa& a);
+
+}  // namespace postblock::flash
+
+#endif  // POSTBLOCK_FLASH_ADDRESS_H_

@@ -1,0 +1,52 @@
+#include "flash/chip.h"
+
+namespace postblock::flash {
+
+FlashArray::FlashArray(const Geometry& geometry, const Timing& timing,
+                       const ErrorModelConfig& errors, std::uint64_t seed)
+    : geometry_(geometry),
+      timing_(timing),
+      error_model_(errors),
+      store_(geometry),
+      rng_(seed) {}
+
+Status FlashArray::Program(const Ppa& ppa, const PageData& data) {
+  PB_RETURN_IF_ERROR(store_.Program(ppa, data));
+  counters_.Increment("pages_programmed");
+  return Status::Ok();
+}
+
+StatusOr<PageData> FlashArray::Read(const Ppa& ppa) {
+  auto result = store_.Read(ppa);
+  if (!result.ok()) return result;
+  counters_.Increment("pages_read");
+  const std::uint32_t wear =
+      store_.GetBlockInfo(ppa.Block()).erase_count;
+  switch (error_model_.SampleRead(wear, &rng_)) {
+    case ReadOutcome::kClean:
+      break;
+    case ReadOutcome::kCorrectable:
+      counters_.Increment("reads_correctable");
+      break;
+    case ReadOutcome::kUncorrectable:
+      counters_.Increment("reads_uncorrectable");
+      return Status::DataLoss("uncorrectable ECC error at " +
+                              ppa.ToString());
+  }
+  return result;
+}
+
+Status FlashArray::Erase(const BlockAddr& addr) {
+  const std::uint32_t wear_before = store_.GetBlockInfo(addr).erase_count;
+  PB_RETURN_IF_ERROR(store_.Erase(addr));
+  counters_.Increment("blocks_erased");
+  if (error_model_.SampleEraseFailure(wear_before + 1, &rng_)) {
+    counters_.Increment("erase_failures");
+    PB_RETURN_IF_ERROR(store_.MarkBad(addr));
+    return Status::DataLoss("erase failure retired block " +
+                            addr.ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace postblock::flash

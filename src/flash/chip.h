@@ -1,0 +1,85 @@
+#ifndef POSTBLOCK_FLASH_CHIP_H_
+#define POSTBLOCK_FLASH_CHIP_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "flash/error_model.h"
+#include "flash/geometry.h"
+#include "flash/page_store.h"
+#include "flash/timing.h"
+
+namespace postblock::flash {
+
+/// The flash memory array behind an SSD controller: every chip/LUN/
+/// plane/block/page in one device, with constraint enforcement (C1-C4),
+/// wear tracking and the stochastic error model.
+///
+/// This class is *synchronous state*: it answers "what happens to the
+/// cells". Timing and parallelism (LUN serialization, channel sharing)
+/// are orchestrated by ssd::Controller using the Timing parameters,
+/// which keeps the state machine exhaustively unit-testable.
+class FlashArray {
+ public:
+  FlashArray(const Geometry& geometry, const Timing& timing,
+             const ErrorModelConfig& errors, std::uint64_t seed = 42);
+
+  FlashArray(const FlashArray&) = delete;
+  FlashArray& operator=(const FlashArray&) = delete;
+
+  const Geometry& geometry() const { return geometry_; }
+  const Timing& timing() const { return timing_; }
+  const ErrorModel& error_model() const { return error_model_; }
+
+  /// Programs one page. Enforces C2 (erase-before-write) and C3
+  /// (sequential programming within a block).
+  Status Program(const Ppa& ppa, const PageData& data);
+
+  /// Reads one page through the ECC path. Uncorrectable errors return
+  /// DataLoss; correctable errors are counted and succeed.
+  StatusOr<PageData> Read(const Ppa& ppa);
+
+  /// Erases one block. Past the endurance budget the erase may fail,
+  /// retiring the block (returns DataLoss; the block is marked bad).
+  Status Erase(const BlockAddr& addr);
+
+  /// FTL bookkeeping hooks (no cell activity, no timing).
+  Status MarkInvalid(const Ppa& ppa) { return store_.MarkInvalid(ppa); }
+  Status Revalidate(const Ppa& ppa) { return store_.Revalidate(ppa); }
+  Status MarkBad(const BlockAddr& addr) { return store_.MarkBad(addr); }
+
+  /// Error-model-free page inspection (recovery OOB scans, tests).
+  StatusOr<PageData> Peek(const Ppa& ppa) const { return store_.Read(ppa); }
+
+  PageState GetPageState(const Ppa& ppa) const {
+    return store_.GetPageState(ppa);
+  }
+  const BlockInfo& GetBlockInfo(const BlockAddr& addr) const {
+    return store_.GetBlockInfo(addr);
+  }
+
+  std::uint32_t MinEraseCount() const { return store_.MinEraseCount(); }
+  std::uint32_t MaxEraseCount() const { return store_.MaxEraseCount(); }
+  double MeanEraseCount() const { return store_.MeanEraseCount(); }
+  std::uint64_t bad_blocks() const { return store_.bad_blocks(); }
+
+  /// Counters: pages_read, pages_programmed, blocks_erased,
+  /// reads_correctable, reads_uncorrectable, erase_failures.
+  const Counters& counters() const { return counters_; }
+  Counters* mutable_counters() { return &counters_; }
+
+ private:
+  Geometry geometry_;
+  Timing timing_;
+  ErrorModel error_model_;
+  PageStore store_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace postblock::flash
+
+#endif  // POSTBLOCK_FLASH_CHIP_H_

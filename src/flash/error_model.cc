@@ -1,0 +1,33 @@
+#include "flash/error_model.h"
+
+#include <algorithm>
+
+namespace postblock::flash {
+
+double ErrorModel::WearFactor(std::uint32_t erase_count) const {
+  if (config_.endurance_cycles == 0) return 0.0;
+  const double wear = static_cast<double>(erase_count) /
+                      static_cast<double>(config_.endurance_cycles);
+  return 1.0 + wear * wear * wear * config_.wear_amplification;
+}
+
+ReadOutcome ErrorModel::SampleRead(std::uint32_t erase_count,
+                                   Rng* rng) const {
+  const double factor = WearFactor(erase_count);
+  const double p_uncorrectable =
+      std::min(1.0, config_.base_uncorrectable_rate * factor);
+  const double p_correctable =
+      std::min(1.0, config_.base_correctable_rate * factor);
+  const double draw = rng->NextDouble();
+  if (draw < p_uncorrectable) return ReadOutcome::kUncorrectable;
+  if (draw < p_uncorrectable + p_correctable) return ReadOutcome::kCorrectable;
+  return ReadOutcome::kClean;
+}
+
+bool ErrorModel::SampleEraseFailure(std::uint32_t erase_count,
+                                    Rng* rng) const {
+  if (erase_count <= config_.endurance_cycles) return false;
+  return rng->Bernoulli(config_.post_endurance_erase_failure);
+}
+
+}  // namespace postblock::flash

@@ -1,0 +1,48 @@
+#ifndef POSTBLOCK_FLASH_GEOMETRY_H_
+#define POSTBLOCK_FLASH_GEOMETRY_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace postblock::flash {
+
+/// Physical shape of the flash array behind an SSD controller:
+/// channels × LUNs × planes × blocks × pages (the paper's Section 2.2
+/// hierarchy). One LUN is the unit of operation interleaving; operations
+/// on one LUN execute serially, across LUNs in parallel.
+struct Geometry {
+  std::uint32_t channels = 4;
+  std::uint32_t luns_per_channel = 4;
+  std::uint32_t planes_per_lun = 1;
+  std::uint32_t blocks_per_plane = 128;
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t page_size_bytes = 4096;
+
+  std::uint32_t luns() const { return channels * luns_per_channel; }
+  std::uint32_t blocks_per_lun() const {
+    return planes_per_lun * blocks_per_plane;
+  }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(luns()) * blocks_per_lun();
+  }
+  std::uint64_t pages_per_lun() const {
+    return static_cast<std::uint64_t>(blocks_per_lun()) * pages_per_block;
+  }
+  std::uint64_t total_pages() const {
+    return total_blocks() * pages_per_block;
+  }
+  std::uint64_t capacity_bytes() const {
+    return total_pages() * page_size_bytes;
+  }
+
+  bool Valid() const {
+    return channels > 0 && luns_per_channel > 0 && planes_per_lun > 0 &&
+           blocks_per_plane > 0 && pages_per_block > 0 &&
+           page_size_bytes > 0;
+  }
+};
+
+}  // namespace postblock::flash
+
+#endif  // POSTBLOCK_FLASH_GEOMETRY_H_

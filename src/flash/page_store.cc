@@ -1,0 +1,154 @@
+#include "flash/page_store.h"
+
+#include <algorithm>
+
+namespace postblock::flash {
+
+PageStore::PageStore(const Geometry& geometry)
+    : geometry_(geometry),
+      page_state_(geometry.total_pages(), PageState::kFree),
+      page_data_(geometry.total_pages()),
+      blocks_(geometry.total_blocks()) {}
+
+Status PageStore::CheckProgram(const Ppa& ppa) const {
+  if (!InBounds(geometry_, ppa)) {
+    return Status::OutOfRange("program: " + ppa.ToString());
+  }
+  const BlockInfo& blk = blocks_[BlockIndex(ppa.Block())];
+  if (blk.bad) {
+    return Status::FailedPrecondition("program to bad block " +
+                                      ppa.Block().ToString());
+  }
+  if (page_state_[PageIndex(ppa)] != PageState::kFree) {
+    // Constraint C2: erase-before-rewrite.
+    return Status::FailedPrecondition("C2 violation: reprogram of " +
+                                      ppa.ToString() + " without erase");
+  }
+  if (ppa.page < blk.write_point) {
+    // Constraint C3: in-block programs must be in ascending page order
+    // (ONFI allows gaps but never going backwards).
+    return Status::FailedPrecondition(
+        "C3 violation: program " + ppa.ToString() + " but write point is " +
+        std::to_string(blk.write_point));
+  }
+  return Status::Ok();
+}
+
+Status PageStore::Program(const Ppa& ppa, const PageData& data) {
+  PB_RETURN_IF_ERROR(CheckProgram(ppa));
+  BlockInfo& blk = blocks_[BlockIndex(ppa.Block())];
+  page_state_[PageIndex(ppa)] = PageState::kValid;
+  page_data_[PageIndex(ppa)] = data;
+  blk.write_point = ppa.page + 1;
+  ++blk.valid_pages;
+  return Status::Ok();
+}
+
+StatusOr<PageData> PageStore::Read(const Ppa& ppa) const {
+  if (!InBounds(geometry_, ppa)) {
+    return Status::OutOfRange("read: " + ppa.ToString());
+  }
+  if (page_state_[PageIndex(ppa)] == PageState::kFree) {
+    return Status::FailedPrecondition("read of erased page " +
+                                      ppa.ToString());
+  }
+  return page_data_[PageIndex(ppa)];
+}
+
+Status PageStore::Erase(const BlockAddr& addr) {
+  if (!InBounds(geometry_, addr)) {
+    return Status::OutOfRange("erase: " + addr.ToString());
+  }
+  BlockInfo& blk = blocks_[BlockIndex(addr)];
+  if (blk.bad) {
+    return Status::FailedPrecondition("erase of bad block " +
+                                      addr.ToString());
+  }
+  const std::uint64_t first =
+      Ppa{addr.channel, addr.lun, addr.plane, addr.block, 0}.Flatten(
+          geometry_);
+  for (std::uint32_t p = 0; p < geometry_.pages_per_block; ++p) {
+    page_state_[first + p] = PageState::kFree;
+    page_data_[first + p] = PageData{};
+  }
+  blk.write_point = 0;
+  blk.valid_pages = 0;
+  ++blk.erase_count;  // constraint C4 bookkeeping
+  return Status::Ok();
+}
+
+Status PageStore::MarkInvalid(const Ppa& ppa) {
+  if (!InBounds(geometry_, ppa)) {
+    return Status::OutOfRange("invalidate: " + ppa.ToString());
+  }
+  if (page_state_[PageIndex(ppa)] != PageState::kValid) {
+    return Status::FailedPrecondition("invalidate of non-valid page " +
+                                      ppa.ToString());
+  }
+  page_state_[PageIndex(ppa)] = PageState::kInvalid;
+  --blocks_[BlockIndex(ppa.Block())].valid_pages;
+  return Status::Ok();
+}
+
+Status PageStore::Revalidate(const Ppa& ppa) {
+  if (!InBounds(geometry_, ppa)) {
+    return Status::OutOfRange("revalidate: " + ppa.ToString());
+  }
+  if (page_state_[PageIndex(ppa)] != PageState::kInvalid) {
+    return Status::FailedPrecondition("revalidate of non-invalid page " +
+                                      ppa.ToString());
+  }
+  page_state_[PageIndex(ppa)] = PageState::kValid;
+  ++blocks_[BlockIndex(ppa.Block())].valid_pages;
+  return Status::Ok();
+}
+
+Status PageStore::MarkBad(const BlockAddr& addr) {
+  if (!InBounds(geometry_, addr)) {
+    return Status::OutOfRange("mark-bad: " + addr.ToString());
+  }
+  BlockInfo& blk = blocks_[BlockIndex(addr)];
+  if (!blk.bad) {
+    blk.bad = true;
+    ++bad_blocks_;
+  }
+  return Status::Ok();
+}
+
+PageState PageStore::GetPageState(const Ppa& ppa) const {
+  return page_state_[PageIndex(ppa)];
+}
+
+const BlockInfo& PageStore::GetBlockInfo(const BlockAddr& addr) const {
+  return blocks_[BlockIndex(addr)];
+}
+
+std::uint32_t PageStore::MinEraseCount() const {
+  std::uint32_t m = ~0u;
+  for (const auto& b : blocks_) {
+    if (!b.bad) m = std::min(m, b.erase_count);
+  }
+  return m == ~0u ? 0 : m;
+}
+
+std::uint32_t PageStore::MaxEraseCount() const {
+  std::uint32_t m = 0;
+  for (const auto& b : blocks_) {
+    if (!b.bad) m = std::max(m, b.erase_count);
+  }
+  return m;
+}
+
+double PageStore::MeanEraseCount() const {
+  std::uint64_t sum = 0;
+  std::uint64_t n = 0;
+  for (const auto& b : blocks_) {
+    if (!b.bad) {
+      sum += b.erase_count;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+}  // namespace postblock::flash

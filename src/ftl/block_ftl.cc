@@ -1,0 +1,296 @@
+#include "ftl/block_ftl.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace postblock::ftl {
+
+BlockFtl::BlockFtl(ssd::Controller* controller)
+    : controller_(controller),
+      user_vblocks_(static_cast<std::uint64_t>(
+          static_cast<double>(controller->config().geometry.total_blocks()) *
+          (1.0 - controller->config().over_provisioning))),
+      user_pages_(user_vblocks_ *
+                  controller->config().geometry.pages_per_block),
+      map_(user_vblocks_),
+      luns_(controller->config().geometry.luns()),
+      wear_leveler_(controller->config().wear) {
+  const auto& g = controller->config().geometry;
+  for (std::uint32_t l = 0; l < g.luns(); ++l) {
+    const std::uint32_t channel = l / g.luns_per_channel;
+    const std::uint32_t lun = l % g.luns_per_channel;
+    for (std::uint32_t plane = 0; plane < g.planes_per_lun; ++plane) {
+      for (std::uint32_t block = 0; block < g.blocks_per_plane; ++block) {
+        luns_[l].free_blocks.push_back({channel, lun, plane, block});
+      }
+    }
+  }
+}
+
+double BlockFtl::WriteAmplification() const {
+  const std::uint64_t host = counters_.Get("host_pages_accepted");
+  if (host == 0) return 0.0;
+  return static_cast<double>(
+             controller_->counters().Get("pages_programmed")) /
+         static_cast<double>(host);
+}
+
+void BlockFtl::EnqueueOp(std::uint32_t lun,
+                         std::function<void(std::function<void()>)> op) {
+  luns_[lun].ops.push_back(std::move(op));
+  RunNext(lun);
+}
+
+void BlockFtl::RunNext(std::uint32_t lun) {
+  LunState& st = luns_[lun];
+  if (st.busy || st.ops.empty()) return;
+  st.busy = true;
+  auto op = std::move(st.ops.front());
+  st.ops.pop_front();
+  op([this, lun]() {
+    luns_[lun].busy = false;
+    RunNext(lun);
+  });
+}
+
+flash::BlockAddr BlockFtl::TakeFreeBlock(std::uint32_t lun) {
+  LunState& st = luns_[lun];
+  // The geometry guarantees at least one spare per LUN beyond the
+  // user-visible vblocks (over-provisioning), so merges never starve.
+  std::vector<std::uint32_t> wear;
+  wear.reserve(st.free_blocks.size());
+  for (const auto& b : st.free_blocks) {
+    wear.push_back(controller_->flash()->GetBlockInfo(b).erase_count);
+  }
+  const std::size_t pick = wear_leveler_.SelectFreeBlock(wear);
+  const flash::BlockAddr addr = st.free_blocks[pick];
+  st.free_blocks.erase(st.free_blocks.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+  return addr;
+}
+
+void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
+  if (lba >= user_pages_) {
+    controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::OutOfRange("write beyond device"));
+    });
+    return;
+  }
+  counters_.Increment("host_writes");
+  counters_.Increment("host_pages_accepted");
+  const auto& g = controller_->config().geometry;
+  const std::uint64_t vblock = lba / g.pages_per_block;
+  const std::uint32_t off = static_cast<std::uint32_t>(lba % g.pages_per_block);
+  const std::uint32_t lun = LunOf(vblock);
+  const SequenceNumber seq = next_seq_++;
+
+  EnqueueOp(lun, [this, vblock, off, token, seq, lun,
+                  cb = std::move(cb)](std::function<void()> op_done) mutable {
+    VBlockEntry& e = map_[vblock];
+    const auto& g = controller_->config().geometry;
+    const std::uint32_t write_point =
+        e.mapped ? controller_->flash()->GetBlockInfo(e.phys).write_point
+                 : 0;
+    if (!e.mapped || off >= write_point) {
+      // In-order append (possibly with a gap): the cheap path that makes
+      // sequential writes fast on block-mapped devices.
+      if (!e.mapped) {
+        e.phys = TakeFreeBlock(lun);
+        e.mapped = true;
+      }
+      counters_.Increment("direct_writes");
+      const flash::Ppa ppa{e.phys.channel, e.phys.lun, e.phys.plane,
+                           e.phys.block, off};
+      const Lba lba = vblock * g.pages_per_block + off;
+      controller_->ProgramPage(
+          ppa, flash::PageData{lba, seq, token, 0},
+          [cb = std::move(cb), op_done = std::move(op_done)](Status st) {
+            cb(std::move(st));
+            op_done();
+          });
+      return;
+    }
+    // Overwrite or backwards write: copy-on-write merge of the block.
+    counters_.Increment("merges");
+    Merge(lun, vblock, off, token, seq,
+          [cb = std::move(cb), op_done = std::move(op_done)](Status st) {
+            cb(std::move(st));
+            op_done();
+          });
+  });
+}
+
+void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
+                     std::uint64_t new_off_or_npos, std::uint64_t token,
+                     SequenceNumber seq, std::function<void(Status)> done) {
+  struct Job {
+    BlockFtl* ftl;
+    std::uint32_t lun;
+    std::uint64_t vblock;
+    std::uint64_t new_off;
+    std::uint64_t token;
+    SequenceNumber seq;
+    flash::BlockAddr old_phys;
+    bool had_old;
+    flash::BlockAddr new_phys;
+    std::uint32_t page = 0;
+    std::function<void(Status)> done;
+  };
+  auto job = std::make_shared<Job>();
+  job->ftl = this;
+  job->lun = lun;
+  job->vblock = vblock;
+  job->new_off = new_off_or_npos;
+  job->token = token;
+  job->seq = seq;
+  VBlockEntry& e = map_[vblock];
+  job->had_old = e.mapped;
+  if (e.mapped) job->old_phys = e.phys;
+  job->new_phys = TakeFreeBlock(lun);
+  job->done = std::move(done);
+
+  // Walk pages 0..ppb-1 in ascending order (constraint C3), taking the
+  // new payload at new_off and copying live pages elsewhere.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, job, step]() {
+    const auto& g = controller_->config().geometry;
+    if (job->page >= g.pages_per_block) {
+      // Remap, then erase the old block back into the free pool.
+      map_[job->vblock] = VBlockEntry{job->new_phys, true};
+      if (!job->had_old) {
+        job->done(Status::Ok());
+        return;
+      }
+      controller_->EraseBlock(job->old_phys, [this, job](Status st) {
+        if (st.ok()) {
+          luns_[job->lun].free_blocks.push_back(job->old_phys);
+        } else {
+          counters_.Increment("blocks_retired");
+        }
+        job->done(Status::Ok());
+      });
+      return;
+    }
+    const std::uint32_t p = job->page++;
+    const flash::Ppa dst{job->new_phys.channel, job->new_phys.lun,
+                         job->new_phys.plane, job->new_phys.block, p};
+    const Lba page_lba = job->vblock * g.pages_per_block + p;
+    if (p == job->new_off) {
+      controller_->ProgramPage(dst,
+                               flash::PageData{page_lba, job->seq,
+                                               job->token, 0},
+                               [job, step](Status st) {
+                                 if (!st.ok()) {
+                                   job->done(std::move(st));
+                                   return;
+                                 }
+                                 (*step)();
+                               });
+      return;
+    }
+    if (!job->had_old) {
+      (*step)();
+      return;
+    }
+    const flash::Ppa src{job->old_phys.channel, job->old_phys.lun,
+                         job->old_phys.plane, job->old_phys.block, p};
+    if (controller_->flash()->GetPageState(src) !=
+        flash::PageState::kValid) {
+      (*step)();
+      return;
+    }
+    counters_.Increment("merge_page_copies");
+    controller_->ReadPage(
+        src, [this, job, step, dst](StatusOr<flash::PageData> res) {
+          if (!res.ok()) {
+            // Unreadable page: drop it (data loss surfaces on host read).
+            counters_.Increment("merge_read_failures");
+            (*step)();
+            return;
+          }
+          controller_->ProgramPage(dst, *res, [job, step](Status st) {
+            if (!st.ok()) {
+              job->done(std::move(st));
+              return;
+            }
+            (*step)();
+          });
+        });
+  };
+  (*step)();
+}
+
+void BlockFtl::Read(Lba lba, ReadCallback cb) {
+  if (lba >= user_pages_) {
+    controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::OutOfRange("read beyond device"));
+    });
+    return;
+  }
+  counters_.Increment("host_reads");
+  const auto& g = controller_->config().geometry;
+  const std::uint64_t vblock = lba / g.pages_per_block;
+  const std::uint32_t off = static_cast<std::uint32_t>(lba % g.pages_per_block);
+  const std::uint32_t lun = LunOf(vblock);
+  EnqueueOp(lun, [this, vblock, off,
+                  cb = std::move(cb)](std::function<void()> op_done) mutable {
+    const VBlockEntry& e = map_[vblock];
+    if (!e.mapped) {
+      counters_.Increment("host_reads_unmapped");
+      cb(std::uint64_t{0});
+      op_done();
+      return;
+    }
+    const flash::Ppa ppa{e.phys.channel, e.phys.lun, e.phys.plane,
+                         e.phys.block, off};
+    if (controller_->flash()->GetPageState(ppa) !=
+        flash::PageState::kValid) {
+      counters_.Increment("host_reads_unmapped");
+      cb(std::uint64_t{0});
+      op_done();
+      return;
+    }
+    controller_->ReadPage(
+        ppa, [this, cb = std::move(cb), op_done = std::move(op_done)](
+                 StatusOr<flash::PageData> res) {
+          if (!res.ok()) {
+            counters_.Increment("read_failures");
+            cb(res.status());
+          } else {
+            cb(res->token);
+          }
+          op_done();
+        });
+  });
+}
+
+void BlockFtl::Trim(Lba lba, WriteCallback cb) {
+  if (lba >= user_pages_) {
+    controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::OutOfRange("trim beyond device"));
+    });
+    return;
+  }
+  counters_.Increment("trims");
+  const auto& g = controller_->config().geometry;
+  const std::uint64_t vblock = lba / g.pages_per_block;
+  const std::uint32_t off = static_cast<std::uint32_t>(lba % g.pages_per_block);
+  const std::uint32_t lun = LunOf(vblock);
+  EnqueueOp(lun, [this, vblock, off,
+                  cb = std::move(cb)](std::function<void()> op_done) mutable {
+    const VBlockEntry& e = map_[vblock];
+    if (e.mapped) {
+      const flash::Ppa ppa{e.phys.channel, e.phys.lun, e.phys.plane,
+                           e.phys.block, off};
+      if (controller_->flash()->GetPageState(ppa) ==
+          flash::PageState::kValid) {
+        (void)controller_->flash()->MarkInvalid(ppa);
+      }
+    }
+    cb(Status::Ok());
+    op_done();
+  });
+}
+
+}  // namespace postblock::ftl

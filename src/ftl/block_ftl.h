@@ -1,0 +1,83 @@
+#ifndef POSTBLOCK_FTL_BLOCK_FTL_H_
+#define POSTBLOCK_FTL_BLOCK_FTL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "ftl/ftl.h"
+#include "ftl/wear_leveler.h"
+#include "ssd/controller.h"
+
+namespace postblock::ftl {
+
+/// Block-level mapping FTL — the pre-2009 SSD design the paper blames
+/// for the "random writes are extremely costly" myth. An LBA's page
+/// offset within its logical block is fixed; only whole blocks remap.
+///
+///   - Sequential writes append into the mapped physical block: cheap.
+///   - Overwrites and backwards writes force a *merge*: copy every live
+///     page of the block to a fresh block, erase the old one. One 4 KiB
+///     random write can cost ~pages_per_block reads+programs + an erase.
+///
+/// Operations on one LUN run serially through a firmware queue (early
+/// controllers had no per-LUN pipelining), so merges also block
+/// unrelated reads on the same LUN.
+class BlockFtl : public Ftl {
+ public:
+  explicit BlockFtl(ssd::Controller* controller);
+
+  BlockFtl(const BlockFtl&) = delete;
+  BlockFtl& operator=(const BlockFtl&) = delete;
+
+  void Write(Lba lba, std::uint64_t token, WriteCallback cb) override;
+  void Read(Lba lba, ReadCallback cb) override;
+  void Trim(Lba lba, WriteCallback cb) override;
+  std::uint64_t user_pages() const override { return user_pages_; }
+  const Counters& counters() const override { return counters_; }
+  double WriteAmplification() const override;
+
+ private:
+  struct VBlockEntry {
+    flash::BlockAddr phys;
+    bool mapped = false;
+  };
+  struct LunState {
+    std::deque<std::function<void(std::function<void()>)>> ops;
+    bool busy = false;
+    std::vector<flash::BlockAddr> free_blocks;
+  };
+
+  // Firmware op queue: one op at a time per LUN.
+  void EnqueueOp(std::uint32_t lun,
+                 std::function<void(std::function<void()>)> op);
+  void RunNext(std::uint32_t lun);
+
+  std::uint32_t LunOf(std::uint64_t vblock) const {
+    return static_cast<std::uint32_t>(vblock % luns_.size());
+  }
+  flash::BlockAddr TakeFreeBlock(std::uint32_t lun);
+
+  // The merge engine: builds a fresh physical block containing the old
+  // block's live pages plus (optionally) one new page at `new_off`.
+  void Merge(std::uint32_t lun, std::uint64_t vblock,
+             std::uint64_t new_off_or_npos, std::uint64_t token,
+             SequenceNumber seq, std::function<void(Status)> done);
+
+  ssd::Controller* controller_;
+  std::uint64_t user_vblocks_;
+  std::uint64_t user_pages_;
+  std::vector<VBlockEntry> map_;
+  std::vector<LunState> luns_;
+  WearLeveler wear_leveler_;
+  SequenceNumber next_seq_ = 1;
+  Counters counters_;
+
+  static constexpr std::uint64_t kNoNewPage = ~0ull;
+};
+
+}  // namespace postblock::ftl
+
+#endif  // POSTBLOCK_FTL_BLOCK_FTL_H_

@@ -1,0 +1,53 @@
+#ifndef POSTBLOCK_FTL_FTL_H_
+#define POSTBLOCK_FTL_FTL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/types.h"
+
+namespace postblock::ftl {
+
+/// Host-facing interface of a Flash Translation Layer (Figure 2): page-
+/// granular logical reads, writes and trims over the LBA space, mapped
+/// onto timed flash operations issued through ssd::Controller.
+///
+/// All calls are asynchronous; callbacks fire in simulated time, exactly
+/// once. Page payloads are modeled as 64-bit tokens (flash::PageData).
+class Ftl {
+ public:
+  using WriteCallback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(StatusOr<std::uint64_t>)>;
+
+  virtual ~Ftl() = default;
+
+  /// Writes one logical page. Completion = data durable on flash.
+  virtual void Write(Lba lba, std::uint64_t token, WriteCallback cb) = 0;
+
+  /// Reads one logical page. Unmapped LBAs read as token 0 (the device
+  /// returns zeroes, like a real SSD after trim).
+  virtual void Read(Lba lba, ReadCallback cb) = 0;
+
+  /// Unmaps one logical page (the ATA TRIM retrofit the paper cites as
+  /// evidence the memory abstraction has already cracked).
+  virtual void Trim(Lba lba, WriteCallback cb) = 0;
+
+  /// Host-visible logical pages.
+  virtual std::uint64_t user_pages() const = 0;
+
+  /// Counters. All FTLs expose at least:
+  ///   host_reads, host_writes, trims, gc_runs, gc_page_moves,
+  ///   gc_erases, write_stalls.
+  virtual const Counters& counters() const = 0;
+
+  /// Write amplification so far: flash pages programmed / host pages
+  /// written (>= 1 once the device has seen host writes).
+  virtual double WriteAmplification() const = 0;
+};
+
+}  // namespace postblock::ftl
+
+#endif  // POSTBLOCK_FTL_FTL_H_

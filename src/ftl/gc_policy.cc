@@ -1,0 +1,48 @@
+#include "ftl/gc_policy.h"
+
+namespace postblock::ftl {
+
+std::optional<flash::BlockAddr> GreedyGcPolicy::PickVictim(
+    const std::vector<BlockMeta>& candidates, SimTime /*now*/,
+    std::uint32_t pages_per_block) {
+  const BlockMeta* best = nullptr;
+  for (const auto& c : candidates) {
+    if (c.valid_pages >= pages_per_block) continue;  // nothing to gain
+    if (best == nullptr || c.valid_pages < best->valid_pages) best = &c;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->addr;
+}
+
+std::optional<flash::BlockAddr> CostBenefitGcPolicy::PickVictim(
+    const std::vector<BlockMeta>& candidates, SimTime now,
+    std::uint32_t pages_per_block) {
+  const BlockMeta* best = nullptr;
+  double best_score = -1.0;
+  for (const auto& c : candidates) {
+    if (c.valid_pages >= pages_per_block) continue;
+    const double u = static_cast<double>(c.valid_pages) /
+                     static_cast<double>(pages_per_block);
+    const double age =
+        static_cast<double>(now - c.last_write) + 1.0;  // ns, >=1
+    const double score = age * (1.0 - u) / (1.0 + u);
+    if (score > best_score) {
+      best_score = score;
+      best = &c;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->addr;
+}
+
+std::unique_ptr<GcPolicy> GcPolicy::Create(ssd::GcPolicyKind kind) {
+  switch (kind) {
+    case ssd::GcPolicyKind::kGreedy:
+      return std::make_unique<GreedyGcPolicy>();
+    case ssd::GcPolicyKind::kCostBenefit:
+      return std::make_unique<CostBenefitGcPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace postblock::ftl

@@ -1,0 +1,49 @@
+#ifndef POSTBLOCK_FTL_GC_POLICY_H_
+#define POSTBLOCK_FTL_GC_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "ftl/mapping_types.h"
+#include "ssd/config.h"
+
+namespace postblock::ftl {
+
+/// Victim selection for garbage collection. Candidates are closed
+/// (no in-flight programs), non-free, non-bad blocks of one LUN.
+class GcPolicy {
+ public:
+  virtual ~GcPolicy() = default;
+
+  /// Picks the candidate to reclaim, or nullopt if collecting any of
+  /// them would be pointless (e.g. all fully valid).
+  virtual std::optional<flash::BlockAddr> PickVictim(
+      const std::vector<BlockMeta>& candidates, SimTime now,
+      std::uint32_t pages_per_block) = 0;
+
+  static std::unique_ptr<GcPolicy> Create(ssd::GcPolicyKind kind);
+};
+
+/// Fewest valid pages wins — minimizes immediate page moves.
+class GreedyGcPolicy : public GcPolicy {
+ public:
+  std::optional<flash::BlockAddr> PickVictim(
+      const std::vector<BlockMeta>& candidates, SimTime now,
+      std::uint32_t pages_per_block) override;
+};
+
+/// Rosenblum/LFS cost-benefit: maximize age * (1-u) / (1+u); prefers
+/// cold, mostly-invalid blocks and resists collecting hot blocks that
+/// are still shedding validity.
+class CostBenefitGcPolicy : public GcPolicy {
+ public:
+  std::optional<flash::BlockAddr> PickVictim(
+      const std::vector<BlockMeta>& candidates, SimTime now,
+      std::uint32_t pages_per_block) override;
+};
+
+}  // namespace postblock::ftl
+
+#endif  // POSTBLOCK_FTL_GC_POLICY_H_

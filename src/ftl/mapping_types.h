@@ -1,0 +1,31 @@
+#ifndef POSTBLOCK_FTL_MAPPING_TYPES_H_
+#define POSTBLOCK_FTL_MAPPING_TYPES_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "flash/address.h"
+
+namespace postblock::ftl {
+
+/// One page-mapping entry: where an LBA currently lives, and the
+/// sequence number of the last applied operation on that LBA (write or
+/// trim). Sequence numbers order concurrent in-flight operations so that
+/// out-of-order completions across LUNs never resurrect stale data.
+struct MapEntry {
+  flash::Ppa ppa;
+  SequenceNumber seq = 0;
+  bool mapped = false;
+};
+
+/// Metadata the GC / wear-leveling policies see for each block.
+struct BlockMeta {
+  flash::BlockAddr addr;
+  std::uint32_t valid_pages = 0;
+  std::uint32_t erase_count = 0;
+  SimTime last_write = 0;
+};
+
+}  // namespace postblock::ftl
+
+#endif  // POSTBLOCK_FTL_MAPPING_TYPES_H_

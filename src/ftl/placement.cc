@@ -1,0 +1,30 @@
+#include "ftl/placement.h"
+
+namespace postblock::ftl {
+
+std::uint32_t ChannelStripePlacement::LunForWrite(Lba /*lba*/) {
+  const std::uint64_t i = counter_++;
+  const std::uint32_t channel =
+      static_cast<std::uint32_t>(i % geometry_.channels);
+  const std::uint32_t lun_in_channel = static_cast<std::uint32_t>(
+      (i / geometry_.channels) % geometry_.luns_per_channel);
+  return channel * geometry_.luns_per_channel + lun_in_channel;
+}
+
+std::uint32_t LbaStaticPlacement::LunForWrite(Lba lba) {
+  const std::uint64_t range = lba / geometry_.pages_per_block;
+  return static_cast<std::uint32_t>(range % geometry_.luns());
+}
+
+std::unique_ptr<WritePlacement> WritePlacement::Create(
+    ssd::PlacementKind kind, const flash::Geometry& geometry) {
+  switch (kind) {
+    case ssd::PlacementKind::kChannelStripe:
+      return std::make_unique<ChannelStripePlacement>(geometry);
+    case ssd::PlacementKind::kLbaStatic:
+      return std::make_unique<LbaStaticPlacement>(geometry);
+  }
+  return nullptr;
+}
+
+}  // namespace postblock::ftl

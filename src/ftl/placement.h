@@ -1,0 +1,56 @@
+#ifndef POSTBLOCK_FTL_PLACEMENT_H_
+#define POSTBLOCK_FTL_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "flash/geometry.h"
+#include "ssd/config.h"
+
+namespace postblock::ftl {
+
+/// Decides which LUN services a host write. The paper (Myth 3, reason
+/// three): "reads will benefit from parallelism only if the
+/// corresponding writes have been directed to different LUNs" — this
+/// policy is exactly that decision, and benches ablate it.
+class WritePlacement {
+ public:
+  virtual ~WritePlacement() = default;
+
+  /// Global LUN index in [0, geometry.luns()) for a host write of `lba`.
+  virtual std::uint32_t LunForWrite(Lba lba) = 0;
+
+  static std::unique_ptr<WritePlacement> Create(
+      ssd::PlacementKind kind, const flash::Geometry& geometry);
+};
+
+/// Round-robin striping, channel-major: consecutive writes hit distinct
+/// channels first, then distinct LUNs within a channel.
+class ChannelStripePlacement : public WritePlacement {
+ public:
+  explicit ChannelStripePlacement(const flash::Geometry& g) : geometry_(g) {}
+
+  std::uint32_t LunForWrite(Lba lba) override;
+
+ private:
+  flash::Geometry geometry_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Static range binding: a block-sized LBA range always maps to the same
+/// LUN. Sequential LBA ranges colocate — later random reads of a range
+/// serialize on one LUN.
+class LbaStaticPlacement : public WritePlacement {
+ public:
+  explicit LbaStaticPlacement(const flash::Geometry& g) : geometry_(g) {}
+
+  std::uint32_t LunForWrite(Lba lba) override;
+
+ private:
+  flash::Geometry geometry_;
+};
+
+}  // namespace postblock::ftl
+
+#endif  // POSTBLOCK_FTL_PLACEMENT_H_

@@ -1,0 +1,84 @@
+#ifndef POSTBLOCK_PCM_PCM_DEVICE_H_
+#define POSTBLOCK_PCM_PCM_DEVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/types.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace postblock::pcm {
+
+/// Phase-change memory timing/geometry. Circa-2012 figures: reads near
+/// DRAM, writes several times slower; byte-addressable; in-place update
+/// (no erase); finite but large per-line endurance.
+struct PcmConfig {
+  std::uint64_t capacity_bytes = 64 * kMiB;
+  std::uint32_t line_bytes = 64;          // access granularity on the bus
+  SimTime read_ns_per_line = 100;
+  SimTime write_ns_per_line = 500;
+  std::uint32_t banks = 4;                // concurrent line accesses
+  std::uint64_t endurance_writes = 100'000'000;  // per line (C4 analogue)
+};
+
+/// PCM plugged on the memory bus (the paper's Section 3 principle 1
+/// target for synchronous persistence). Access is modeled as occupying
+/// one of `banks` concurrent units for the per-line latency — there is
+/// no block indirection, no erase, no garbage collection.
+class PcmDevice {
+ public:
+  PcmDevice(sim::Simulator* sim, const PcmConfig& config);
+
+  PcmDevice(const PcmDevice&) = delete;
+  PcmDevice& operator=(const PcmDevice&) = delete;
+
+  const PcmConfig& config() const { return config_; }
+
+  /// Persists `data` at byte offset `addr`. Completion fires after the
+  /// store reaches the device (write-through; no volatile cache).
+  void Write(std::uint64_t addr, std::vector<std::uint8_t> data,
+             std::function<void(Status)> on_done);
+
+  /// Reads `len` bytes from `addr`.
+  void Read(std::uint64_t addr, std::uint64_t len,
+            std::function<void(StatusOr<std::vector<std::uint8_t>>)> on_done);
+
+  /// Synchronous state inspection for tests (no timing).
+  StatusOr<std::vector<std::uint8_t>> Peek(std::uint64_t addr,
+                                           std::uint64_t len) const;
+
+  /// Latency a single isolated access of `len` bytes would take.
+  SimTime ReadLatency(std::uint64_t len) const;
+  SimTime WriteLatency(std::uint64_t len) const;
+
+  /// Max per-line write count (wear; the paper notes PCM-based SSDs
+  /// still need wear management).
+  std::uint64_t MaxLineWear() const;
+
+  /// Simulates power loss: contents persist (it's PCM) but in-flight
+  /// stores/loads are dropped — their callbacks never fire and a torn
+  /// store leaves the old bytes.
+  void PowerCycle() { ++epoch_; }
+
+  const Counters& counters() const { return counters_; }
+  sim::Resource* bus() { return &bus_; }
+
+ private:
+  std::uint64_t LinesFor(std::uint64_t addr, std::uint64_t len) const;
+
+  sim::Simulator* sim_;
+  PcmConfig config_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint32_t> line_wear_;
+  sim::Resource bus_;
+  std::uint64_t epoch_ = 0;
+  Counters counters_;
+};
+
+}  // namespace postblock::pcm
+
+#endif  // POSTBLOCK_PCM_PCM_DEVICE_H_

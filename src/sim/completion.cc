@@ -1,0 +1,25 @@
+#include "sim/completion.h"
+
+#include <utility>
+
+namespace postblock::sim {
+
+void Completion::Complete(Simulator* sim, Status status) {
+  done_ = true;
+  status_ = std::move(status);
+  completed_at_ = sim->Now();
+}
+
+std::function<void(Status)> Completion::AsCallback(Simulator* sim) {
+  return [this, sim](Status s) { Complete(sim, std::move(s)); };
+}
+
+bool WaitFor(Simulator* sim, const Completion& c) {
+  return sim->RunUntilPredicate([&c] { return c.done(); });
+}
+
+bool WaitFor(Simulator* sim, const CountdownLatch& l) {
+  return sim->RunUntilPredicate([&l] { return l.done(); });
+}
+
+}  // namespace postblock::sim

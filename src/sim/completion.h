@@ -1,0 +1,64 @@
+#ifndef POSTBLOCK_SIM_COMPLETION_H_
+#define POSTBLOCK_SIM_COMPLETION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace postblock::sim {
+
+/// One-shot completion flag with a Status payload. Lets tests and
+/// examples write synchronous-looking code over the asynchronous device
+/// APIs:
+///
+///   Completion done;
+///   dev->Submit(req, done.AsCallback());
+///   ASSERT_TRUE(WaitFor(sim, done));
+///   ASSERT_TRUE(done.status().ok());
+class Completion {
+ public:
+  bool done() const { return done_; }
+  const Status& status() const { return status_; }
+  SimTime completed_at() const { return completed_at_; }
+
+  void Complete(Simulator* sim, Status status = Status::Ok());
+
+  /// Adapts this completion to the `void(Status)` callback convention
+  /// used across device interfaces.
+  std::function<void(Status)> AsCallback(Simulator* sim);
+
+ private:
+  bool done_ = false;
+  Status status_;
+  SimTime completed_at_ = 0;
+};
+
+/// Counts down from `n`; used to await batches of asynchronous IOs.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::uint64_t n) : remaining_(n) {}
+
+  void CountDown() {
+    if (remaining_ > 0) --remaining_;
+  }
+  bool done() const { return remaining_ == 0; }
+  std::uint64_t remaining() const { return remaining_; }
+
+  std::function<void(Status)> AsCallback() {
+    return [this](const Status&) { CountDown(); };
+  }
+
+ private:
+  std::uint64_t remaining_;
+};
+
+/// Runs the simulator until `c` completes. Returns false if the event
+/// queue drained first (a lost completion — always a bug).
+bool WaitFor(Simulator* sim, const Completion& c);
+bool WaitFor(Simulator* sim, const CountdownLatch& l);
+
+}  // namespace postblock::sim
+
+#endif  // POSTBLOCK_SIM_COMPLETION_H_

@@ -1,0 +1,17 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace postblock::sim {
+
+void EventQueue::Push(SimTime when, Callback cb) {
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+EventQueue::Callback EventQueue::Pop() {
+  Callback cb = std::move(heap_.top().cb);
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace postblock::sim

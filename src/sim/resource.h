@@ -1,0 +1,71 @@
+#ifndef POSTBLOCK_SIM_RESOURCE_H_
+#define POSTBLOCK_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace postblock::sim {
+
+/// A FCFS-shared resource with `capacity` concurrent slots (default 1).
+/// Models a flash channel bus, a LUN (serial command execution), a CPU
+/// core, etc. Tracks utilization and queueing delay so benches can tell
+/// *which* resource bound a workload (the paper's channel-bound vs
+/// chip-bound distinction, Figure 1).
+class Resource {
+ public:
+  using Grant = std::function<void()>;
+
+  Resource(Simulator* sim, std::string name, int capacity = 1);
+
+  /// Requests a slot. `on_grant` runs as soon as a slot is available —
+  /// synchronously if one is free now, otherwise when a holder releases.
+  void Acquire(Grant on_grant);
+
+  /// Releases one held slot. Hands the slot to the next waiter via a
+  /// zero-delay event (avoids unbounded recursion on long queues).
+  void Release();
+
+  /// Convenience: acquire, hold for `duration`, release, then run `done`.
+  void UseFor(SimTime duration, std::function<void()> done);
+
+  int in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Total slot-nanoseconds the resource was held.
+  std::uint64_t busy_ns() const;
+  /// Queueing delay distribution (time between Acquire and grant).
+  const Histogram& wait_hist() const { return wait_hist_; }
+  /// Fraction of [0, Now()] the resource was busy (capacity-weighted).
+  double Utilization() const;
+
+ private:
+  struct Waiter {
+    Grant grant;
+    SimTime enqueued_at;
+  };
+
+  void GrantTo(Waiter w);
+
+  Simulator* sim_;
+  std::string name_;
+  int capacity_;
+  int in_use_ = 0;
+  std::deque<Waiter> waiters_;
+
+  mutable std::uint64_t busy_ns_ = 0;
+  mutable SimTime busy_since_ = 0;  // last time in_use_ changed
+  Histogram wait_hist_;
+
+  void AccrueBusy() const;
+};
+
+}  // namespace postblock::sim
+
+#endif  // POSTBLOCK_SIM_RESOURCE_H_

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+namespace postblock::sim {
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.NextTime();
+  auto cb = queue_.Pop();
+  ++events_executed_;
+  cb();
+  return true;
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) return true;
+  while (Step()) {
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace postblock::sim

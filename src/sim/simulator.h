@@ -1,0 +1,58 @@
+#ifndef POSTBLOCK_SIM_SIMULATOR_H_
+#define POSTBLOCK_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace postblock::sim {
+
+/// Deterministic single-threaded discrete-event simulator. All devices
+/// and host-side components in postblock share one Simulator; "wall
+/// clock" in benches means Simulator::Now() at the end of a run.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` ns from now.
+  void Schedule(SimTime delay, std::function<void()> cb) {
+    queue_.Push(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at an absolute timestamp (must be >= Now()).
+  void ScheduleAt(SimTime when, std::function<void()> cb) {
+    queue_.Push(when < now_ ? now_ : when, std::move(cb));
+  }
+
+  /// Runs events until the queue drains. Returns the final time.
+  SimTime Run();
+
+  /// Runs events with timestamp <= deadline; leaves later events queued.
+  /// The clock is advanced to `deadline` even if the queue drains early.
+  SimTime RunUntil(SimTime deadline);
+
+  /// Runs until `pred()` becomes true (checked after each event) or the
+  /// queue drains. Returns true iff the predicate was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  /// Executes at most one pending event. Returns false if none pending.
+  bool Step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace postblock::sim
+
+#endif  // POSTBLOCK_SIM_SIMULATOR_H_

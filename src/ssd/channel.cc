@@ -1,0 +1,20 @@
+#include "ssd/channel.h"
+
+namespace postblock::ssd {
+
+Channel::Channel(sim::Simulator* sim, std::uint32_t index,
+                 const flash::Timing& timing, std::uint32_t page_bytes)
+    : index_(index),
+      transfer_ns_(timing.TransferNs(page_bytes)),
+      cmd_ns_(timing.cmd_ns),
+      bus_(sim, "channel-" + std::to_string(index)) {}
+
+void Channel::Transfer(std::function<void()> done) {
+  bus_.UseFor(transfer_ns_, std::move(done));
+}
+
+void Channel::Command(std::function<void()> done) {
+  bus_.UseFor(cmd_ns_, std::move(done));
+}
+
+}  // namespace postblock::ssd

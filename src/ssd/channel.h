@@ -1,0 +1,42 @@
+#ifndef POSTBLOCK_SSD_CHANNEL_H_
+#define POSTBLOCK_SSD_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "flash/timing.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace postblock::ssd {
+
+/// A flash channel: the shared command/data bus connecting the
+/// controller to the LUNs of one channel. Transfers serialize here —
+/// this is the resource that makes reads "channel-bound" in Figure 1.
+class Channel {
+ public:
+  Channel(sim::Simulator* sim, std::uint32_t index,
+          const flash::Timing& timing, std::uint32_t page_bytes);
+
+  /// Occupies the bus for one page data transfer + command cycles, then
+  /// runs `done`.
+  void Transfer(std::function<void()> done);
+
+  /// Occupies the bus for command/address cycles only (erase dispatch).
+  void Command(std::function<void()> done);
+
+  std::uint32_t index() const { return index_; }
+  sim::Resource* resource() { return &bus_; }
+  double Utilization() const { return bus_.Utilization(); }
+
+ private:
+  std::uint32_t index_;
+  SimTime transfer_ns_;
+  SimTime cmd_ns_;
+  sim::Resource bus_;
+};
+
+}  // namespace postblock::ssd
+
+#endif  // POSTBLOCK_SSD_CHANNEL_H_

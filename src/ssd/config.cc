@@ -1,0 +1,72 @@
+#include "ssd/config.h"
+
+namespace postblock::ssd {
+
+const char* FtlKindName(FtlKind kind) {
+  switch (kind) {
+    case FtlKind::kPageMap:
+      return "page-map";
+    case FtlKind::kBlockMap:
+      return "block-map";
+    case FtlKind::kHybrid:
+      return "hybrid";
+    case FtlKind::kDftl:
+      return "dftl";
+  }
+  return "?";
+}
+
+const char* PlacementKindName(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kChannelStripe:
+      return "channel-stripe";
+    case PlacementKind::kLbaStatic:
+      return "lba-static";
+  }
+  return "?";
+}
+
+const char* GcPolicyKindName(GcPolicyKind kind) {
+  switch (kind) {
+    case GcPolicyKind::kGreedy:
+      return "greedy";
+    case GcPolicyKind::kCostBenefit:
+      return "cost-benefit";
+  }
+  return "?";
+}
+
+Config Config::Small() {
+  Config c;
+  c.geometry.channels = 2;
+  c.geometry.luns_per_channel = 2;
+  c.geometry.planes_per_lun = 1;
+  c.geometry.blocks_per_plane = 32;
+  c.geometry.pages_per_block = 16;
+  c.geometry.page_size_bytes = 4096;
+  return c;
+}
+
+Config Config::Consumer2012() {
+  Config c;
+  c.geometry.channels = 8;
+  c.geometry.luns_per_channel = 4;
+  c.geometry.planes_per_lun = 1;
+  c.geometry.blocks_per_plane = 64;
+  c.geometry.pages_per_block = 64;
+  c.geometry.page_size_bytes = 4096;
+  return c;
+}
+
+Config Config::SingleChip() {
+  Config c;
+  c.geometry.channels = 1;
+  c.geometry.luns_per_channel = 1;
+  c.geometry.planes_per_lun = 1;
+  c.geometry.blocks_per_plane = 128;
+  c.geometry.pages_per_block = 32;
+  c.geometry.page_size_bytes = 4096;
+  return c;
+}
+
+}  // namespace postblock::ssd

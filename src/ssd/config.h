@@ -1,0 +1,134 @@
+#ifndef POSTBLOCK_SSD_CONFIG_H_
+#define POSTBLOCK_SSD_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "flash/error_model.h"
+#include "flash/geometry.h"
+#include "flash/timing.h"
+
+namespace postblock::ssd {
+
+/// Which Flash Translation Layer the controller runs (Figure 2's
+/// "Scheduling & Mapping" box). The choice is the difference between the
+/// pre-2009 SSDs (block/hybrid mapping, costly random writes) and the
+/// modern ones (page mapping / DFTL) the paper contrasts in Myth 2.
+enum class FtlKind {
+  kPageMap = 0,  // full page-level mapping in controller RAM
+  kBlockMap,     // block-level mapping (early SSDs)
+  kHybrid,       // block-mapped data + page-mapped log blocks (BAST-like)
+  kDftl,         // page mapping with demand-cached map (Gupta et al. [10])
+};
+
+const char* FtlKindName(FtlKind kind);
+
+/// How the FTL scheduler places incoming host writes across LUNs.
+enum class PlacementKind {
+  /// Round-robin channel-first striping: consecutive writes land on
+  /// different channels — maximizes parallelism for later reads.
+  kChannelStripe = 0,
+  /// LBA-static: a block-range of LBAs sticks to one LUN — models FTLs
+  /// without placement freedom; later reads of a range serialize.
+  kLbaStatic,
+};
+
+const char* PlacementKindName(PlacementKind kind);
+
+/// Garbage-collection victim selection (Figure 2's GC box).
+enum class GcPolicyKind {
+  kGreedy = 0,   // fewest valid pages
+  kCostBenefit,  // (1-u)/(1+u) * age (Rosenblum-style)
+};
+
+const char* GcPolicyKindName(GcPolicyKind kind);
+
+struct GcConfig {
+  GcPolicyKind policy = GcPolicyKind::kGreedy;
+  /// Start GC on a LUN when its free-block count drops to this level.
+  std::uint32_t low_watermark_blocks = 3;
+  /// Free blocks reserved for GC relocation writes (host writes stall
+  /// rather than take the last `reserve_blocks` free blocks).
+  std::uint32_t reserve_blocks = 1;
+};
+
+struct WearLevelConfig {
+  /// Dynamic WL: allocate the least-worn free block.
+  bool dynamic = true;
+  /// Static WL: migrate cold data into worn blocks when the erase-count
+  /// spread across *data* blocks exceeds the threshold.
+  bool static_enabled = false;
+  std::uint32_t spread_threshold = 64;
+  /// Rate limit: at most one migration per this many GC erases on the
+  /// LUN (prevents migration storms; classic FTL pacing).
+  std::uint32_t migrate_interval_erases = 8;
+};
+
+/// Battery-backed controller RAM write cache ("safe cache"): a write IO
+/// completes as soon as it hits the buffer (the paper's Myth 2, reason
+/// one).
+struct WriteBufferConfig {
+  std::uint32_t pages = 0;  // 0 disables the buffer
+  /// Controller latency to accept a buffered write.
+  SimTime insert_ns = 5 * kMicrosecond;
+  /// Buffer survives power loss (battery/supercap). If false, a power
+  /// cut drops un-drained writes.
+  bool battery_backed = true;
+  /// Max concurrent drain programs issued per LUN.
+  std::uint32_t drain_depth_per_lun = 1;
+};
+
+/// Everything needed to build a simulated SSD.
+struct Config {
+  flash::Geometry geometry;
+  flash::Timing timing;
+  flash::ErrorModelConfig errors = flash::ErrorModelConfig::None();
+
+  FtlKind ftl = FtlKind::kPageMap;
+  PlacementKind placement = PlacementKind::kChannelStripe;
+  GcConfig gc;
+  WearLevelConfig wear;
+  WriteBufferConfig write_buffer;
+
+  /// Fraction of raw capacity hidden from the host (over-provisioning).
+  double over_provisioning = 0.125;
+
+  /// Fixed controller firmware overhead added to every host-visible op.
+  SimTime controller_overhead_ns = 2 * kMicrosecond;
+
+  /// Multi-plane operation: array operations on *different planes* of
+  /// one LUN execute concurrently (the paper's §2.2: planes exist
+  /// "typically to allow parallelism across planes"). Off = the whole
+  /// LUN is one serial unit. Note: an FTL that wants plane-striped
+  /// *placement* can equivalently be configured with
+  /// luns_per_channel *= planes_per_lun.
+  bool plane_parallelism = false;
+
+  /// Hybrid FTL: log blocks per LUN.
+  std::uint32_t hybrid_log_blocks_per_lun = 4;
+  /// DFTL: cached mapping table capacity, in translation pages.
+  std::uint32_t dftl_cmt_pages = 64;
+  /// DFTL: LBAs covered by one translation page.
+  std::uint32_t dftl_entries_per_tp = 512;
+
+  std::uint64_t seed = 42;
+
+  /// Host-visible logical blocks (pages) after over-provisioning.
+  std::uint64_t UserPages() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(geometry.total_pages()) *
+        (1.0 - over_provisioning));
+  }
+
+  /// A small default device suitable for tests (a few thousand pages).
+  static Config Small();
+  /// A 2012-era consumer SSD shape (default for benches).
+  static Config Consumer2012();
+  /// A single-channel single-LUN device (for raw-chip comparisons).
+  static Config SingleChip();
+};
+
+}  // namespace postblock::ssd
+
+#endif  // POSTBLOCK_SSD_CONFIG_H_

@@ -1,0 +1,156 @@
+#include "ssd/controller.h"
+
+#include <string>
+#include <utility>
+
+namespace postblock::ssd {
+
+Controller::Controller(sim::Simulator* sim, const Config& config)
+    : sim_(sim),
+      config_(config),
+      flash_(config.geometry, config.timing, config.errors, config.seed) {
+  const auto& g = config_.geometry;
+  channels_.reserve(g.channels);
+  for (std::uint32_t c = 0; c < g.channels; ++c) {
+    channels_.push_back(std::make_unique<Channel>(sim_, c, config_.timing,
+                                                  g.page_size_bytes));
+  }
+  units_per_lun_ = config_.plane_parallelism ? g.planes_per_lun : 1;
+  units_.reserve(g.luns() * units_per_lun_);
+  for (std::uint32_t l = 0; l < g.luns(); ++l) {
+    for (std::uint32_t p = 0; p < units_per_lun_; ++p) {
+      units_.push_back(std::make_unique<sim::Resource>(
+          sim_, "lun-" + std::to_string(l) + "." + std::to_string(p)));
+    }
+  }
+}
+
+void Controller::ReadPage(const flash::Ppa& ppa, ReadCallback on_done) {
+  const SimTime start = sim_->Now();
+  const std::uint64_t epoch = epoch_;
+  sim::Resource* lun = unit_for(ppa);
+  Channel* chan = channels_[ppa.channel].get();
+  const SimTime array_read =
+      config_.timing.cmd_ns + config_.timing.read_ns;
+  lun->Acquire([this, ppa, lun, chan, array_read, start, epoch,
+                on_done = std::move(on_done)]() mutable {
+    // Array read: page cells -> on-chip page register. LUN is busy; the
+    // channel is not (command cycles folded into array_read).
+    sim_->Schedule(array_read, [this, ppa, lun, chan, start, epoch,
+                                on_done = std::move(on_done)]() mutable {
+      // Data transfer: page register -> controller over the shared bus.
+      chan->Transfer([this, ppa, lun, start, epoch,
+                      on_done = std::move(on_done)]() {
+        lun->Release();
+        if (epoch != epoch_) return;  // power-cycled away
+        auto result = flash_.Read(ppa);
+        read_latency_.Record(sim_->Now() - start);
+        const auto& t = config_.timing;
+        flash_.mutable_counters()->Add(
+            "energy_nj", t.read_energy_nj +
+                             t.transfer_nj_per_kib *
+                                 config_.geometry.page_size_bytes / 1024);
+        on_done(std::move(result));
+      });
+    });
+  });
+}
+
+void Controller::ProgramPage(const flash::Ppa& ppa,
+                             const flash::PageData& data,
+                             OpCallback on_done) {
+  const SimTime start = sim_->Now();
+  const std::uint64_t epoch = epoch_;
+  sim::Resource* lun = unit_for(ppa);
+  Channel* chan = channels_[ppa.channel].get();
+  lun->Acquire([this, ppa, data, lun, chan, start, epoch,
+                on_done = std::move(on_done)]() mutable {
+    // Data transfer: controller -> page register (bus busy, array idle).
+    chan->Transfer([this, ppa, data, lun, start, epoch,
+                    on_done = std::move(on_done)]() mutable {
+      // Array program: page register -> cells (LUN busy, bus free).
+      sim_->Schedule(config_.timing.program_ns,
+                     [this, ppa, data, lun, start, epoch,
+                      on_done = std::move(on_done)]() {
+                       lun->Release();
+                       if (epoch != epoch_) return;  // power-cycled away
+                       Status st = flash_.Program(ppa, data);
+                       program_latency_.Record(sim_->Now() - start);
+                       const auto& t = config_.timing;
+                       flash_.mutable_counters()->Add(
+                           "energy_nj",
+                           t.program_energy_nj +
+                               t.transfer_nj_per_kib *
+                                   config_.geometry.page_size_bytes /
+                                   1024);
+                       on_done(std::move(st));
+                     });
+    });
+  });
+}
+
+void Controller::CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
+                              OpCallback on_done) {
+  if (src.GlobalLun(config_.geometry) != dst.GlobalLun(config_.geometry) ||
+      src.plane != dst.plane) {
+    sim_->Schedule(0, [on_done = std::move(on_done)]() {
+      on_done(Status::InvalidArgument(
+          "copyback requires same plane of same LUN"));
+    });
+    return;
+  }
+  const SimTime start = sim_->Now();
+  const std::uint64_t epoch = epoch_;
+  sim::Resource* lun = unit_for(src);
+  Channel* chan = channels_[src.channel].get();
+  // Command cycles on the bus, then array read + array program back to
+  // back inside the die; no data transfer.
+  lun->Acquire([this, src, dst, lun, chan, start, epoch,
+                on_done = std::move(on_done)]() mutable {
+    chan->Command([this, src, dst, lun, start, epoch,
+                   on_done = std::move(on_done)]() mutable {
+      const SimTime busy =
+          config_.timing.read_ns + config_.timing.program_ns;
+      sim_->Schedule(busy, [this, src, dst, lun, start, epoch,
+                            on_done = std::move(on_done)]() {
+        lun->Release();
+        if (epoch != epoch_) return;  // power-cycled away
+        auto data = flash_.Peek(src);  // in-die move: no ECC path
+        Status st = data.ok() ? flash_.Program(dst, *data) : data.status();
+        program_latency_.Record(sim_->Now() - start);
+        flash_.mutable_counters()->Increment("copybacks");
+        flash_.mutable_counters()->Add(
+            "energy_nj", config_.timing.read_energy_nj +
+                             config_.timing.program_energy_nj);
+        on_done(std::move(st));
+      });
+    });
+  });
+}
+
+void Controller::EraseBlock(const flash::BlockAddr& addr,
+                            OpCallback on_done) {
+  const SimTime start = sim_->Now();
+  const std::uint64_t epoch = epoch_;
+  sim::Resource* lun = unit_for(addr);
+  Channel* chan = channels_[addr.channel].get();
+  lun->Acquire([this, addr, lun, chan, start, epoch,
+                on_done = std::move(on_done)]() mutable {
+    chan->Command([this, addr, lun, start, epoch,
+                   on_done = std::move(on_done)]() mutable {
+      sim_->Schedule(config_.timing.erase_ns,
+                     [this, addr, lun, start, epoch,
+                      on_done = std::move(on_done)]() {
+                       lun->Release();
+                       if (epoch != epoch_) return;  // power-cycled away
+                       Status st = flash_.Erase(addr);
+                       erase_latency_.Record(sim_->Now() - start);
+                       flash_.mutable_counters()->Add(
+                           "energy_nj", config_.timing.erase_energy_nj);
+                       on_done(std::move(st));
+                     });
+    });
+  });
+}
+
+}  // namespace postblock::ssd

@@ -1,0 +1,127 @@
+#ifndef POSTBLOCK_SSD_CONTROLLER_H_
+#define POSTBLOCK_SSD_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "flash/chip.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "ssd/channel.h"
+#include "ssd/config.h"
+
+namespace postblock::ssd {
+
+/// The timed flash back-end (Figure 2, lower half): owns the flash
+/// array, one bus Resource per channel and one serial Resource per LUN,
+/// and composes them into timed page operations:
+///
+///   read:    [LUN: cmd + array-read] then [channel: data transfer out]
+///   program: [channel: data transfer in] then [LUN: array program]
+///   erase:   [channel: cmd] then [LUN: block erase]
+///
+/// The asymmetry is the mechanism behind the paper's Figure 1: parallel
+/// reads pile up on the shared channel (channel-bound) while parallel
+/// programs overlap their long array-program phases (chip-bound).
+class Controller {
+ public:
+  Controller(sim::Simulator* sim, const Config& config);
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  using ReadCallback = std::function<void(StatusOr<flash::PageData>)>;
+  using OpCallback = std::function<void(Status)>;
+
+  /// Timed page read through LUN + channel.
+  void ReadPage(const flash::Ppa& ppa, ReadCallback on_done);
+
+  /// Timed page program. Array state mutates when the program phase
+  /// finishes; constraint violations surface in the callback status.
+  void ProgramPage(const flash::Ppa& ppa, const flash::PageData& data,
+                   OpCallback on_done);
+
+  /// Timed block erase.
+  void EraseBlock(const flash::BlockAddr& addr, OpCallback on_done);
+
+  /// Copyback (ONFI internal data move): reads `src` into the plane's
+  /// page register and programs it to `dst` without crossing the
+  /// channel — the chips' native cheap path for GC relocation. Both
+  /// pages must live on the same plane of the same LUN; the data never
+  /// leaves the die (so no ECC scrub — real controllers alternate
+  /// copyback with read-verify; modeled here as error-model-free).
+  void CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
+                    OpCallback on_done);
+
+  sim::Simulator* sim() { return sim_; }
+  const Config& config() const { return config_; }
+  flash::FlashArray* flash() { return &flash_; }
+
+  Channel* channel(std::uint32_t index) { return channels_[index].get(); }
+  /// The serial execution unit for an address: the LUN, or — with
+  /// Config::plane_parallelism — the plane within it.
+  sim::Resource* unit_for(const flash::Ppa& ppa) {
+    return units_[UnitIndex(ppa.GlobalLun(config_.geometry), ppa.plane)]
+        .get();
+  }
+  sim::Resource* unit_for(const flash::BlockAddr& a) {
+    return units_[UnitIndex(a.GlobalLun(config_.geometry), a.plane)].get();
+  }
+  sim::Resource* lun(std::uint32_t global_lun) {
+    return units_[UnitIndex(global_lun, 0)].get();
+  }
+  std::uint32_t num_channels() const {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+  std::uint32_t num_units() const {
+    return static_cast<std::uint32_t>(units_.size());
+  }
+
+  /// Device-level op latency distributions (queueing included).
+  const Histogram& read_latency() const { return read_latency_; }
+  const Histogram& program_latency() const { return program_latency_; }
+  const Histogram& erase_latency() const { return erase_latency_; }
+
+  const Counters& counters() const { return flash_.counters(); }
+
+  /// Total flash energy consumed so far (nanojoules): every array
+  /// read/program/erase plus bus transfers, GC traffic included.
+  std::uint64_t EnergyNj() const {
+    return flash_.counters().Get("energy_nj");
+  }
+
+  /// Power cut: every in-flight operation dies without touching the
+  /// cells (a real interrupted program/erase leaves garbage; we model
+  /// the stronger "nothing happened", which recovery code must already
+  /// tolerate) and without invoking its callback. Channel/LUN resources
+  /// are still released so the powered-back-up controller can operate.
+  void PowerCycle() { ++epoch_; }
+
+ private:
+  std::uint32_t UnitIndex(std::uint32_t global_lun,
+                          std::uint32_t plane) const {
+    return global_lun * units_per_lun_ + plane % units_per_lun_;
+  }
+
+  sim::Simulator* sim_;
+  Config config_;
+  flash::FlashArray flash_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::uint32_t units_per_lun_ = 1;
+  std::vector<std::unique_ptr<sim::Resource>> units_;
+  std::uint64_t epoch_ = 0;
+
+  Histogram read_latency_;
+  Histogram program_latency_;
+  Histogram erase_latency_;
+};
+
+}  // namespace postblock::ssd
+
+#endif  // POSTBLOCK_SSD_CONTROLLER_H_

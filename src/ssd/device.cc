@@ -1,0 +1,196 @@
+#include "ssd/device.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ftl/block_ftl.h"
+#include "ftl/dftl.h"
+#include "ftl/hybrid_ftl.h"
+
+namespace postblock::ssd {
+
+std::unique_ptr<ftl::Ftl> MakeFtl(Controller* controller) {
+  switch (controller->config().ftl) {
+    case FtlKind::kPageMap:
+      return std::make_unique<ftl::PageFtl>(controller);
+    case FtlKind::kBlockMap:
+      return std::make_unique<ftl::BlockFtl>(controller);
+    case FtlKind::kHybrid:
+      return std::make_unique<ftl::HybridFtl>(controller);
+    case FtlKind::kDftl:
+      return std::make_unique<ftl::Dftl>(controller);
+  }
+  return nullptr;
+}
+
+Device::Device(sim::Simulator* sim, const Config& config)
+    : sim_(sim), config_(config) {
+  controller_ = std::make_unique<Controller>(sim, config_);
+  ftl_ = MakeFtl(controller_.get());
+  page_ftl_ = dynamic_cast<ftl::PageFtl*>(ftl_.get());
+  if (config_.write_buffer.pages > 0) {
+    write_buffer_ = std::make_unique<WriteBuffer>(
+        sim_, ftl_.get(), config_.write_buffer,
+        config_.geometry.luns());
+  }
+}
+
+void Device::Submit(blocklayer::IoRequest request) {
+  counters_.Increment("requests");
+  counters_.Increment(std::string("requests_") +
+                      blocklayer::IoOpName(request.op));
+  if (request.op == blocklayer::IoOp::kWrite &&
+      request.tokens.size() != request.nblocks) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(blocklayer::IoResult{
+          Status::InvalidArgument("write token count != nblocks"), {}});
+    });
+    return;
+  }
+  if (request.nblocks == 0) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(blocklayer::IoResult{Status::Ok(), {}});
+    });
+    return;
+  }
+  if (request.lba + request.nblocks > num_blocks()) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(blocklayer::IoResult{
+          Status::OutOfRange("request beyond device"), {}});
+    });
+    return;
+  }
+  // Firmware admission cost, then fan out page ops. Requests still in
+  // admission when power is cut are dropped whole.
+  auto req = std::make_shared<blocklayer::IoRequest>(std::move(request));
+  const std::uint64_t epoch = epoch_;
+  sim_->Schedule(config_.controller_overhead_ns,
+                 [this, epoch, req = std::move(req)]() {
+                   if (epoch != epoch_) return;
+                   SubmitPageOps(req);
+                 });
+}
+
+void Device::SubmitPageOps(
+    const std::shared_ptr<blocklayer::IoRequest>& req) {
+  const blocklayer::IoRequest& request = *req;
+  const SimTime start = sim_->Now();
+  struct Tracker {
+    std::uint32_t remaining;
+    Status first_error;
+    std::vector<std::uint64_t> tokens;
+  };
+  auto tracker = std::make_shared<Tracker>();
+  tracker->remaining = request.nblocks;
+  tracker->tokens.assign(
+      request.op == blocklayer::IoOp::kRead ? request.nblocks : 0, 0);
+
+  auto on_page = [this, tracker, req, start](std::uint32_t index,
+                                             Status st,
+                                             std::uint64_t token) {
+    const blocklayer::IoRequest& request = *req;
+    if (!st.ok() && tracker->first_error.ok()) tracker->first_error = st;
+    if (request.op == blocklayer::IoOp::kRead &&
+        index < tracker->tokens.size()) {
+      tracker->tokens[index] = token;
+    }
+    if (--tracker->remaining > 0) return;
+    const SimTime latency = sim_->Now() - start;
+    switch (request.op) {
+      case blocklayer::IoOp::kRead:
+        read_latency_.Record(latency);
+        break;
+      case blocklayer::IoOp::kWrite:
+        write_latency_.Record(latency);
+        break;
+      default:
+        break;
+    }
+    counters_.Increment("completions");
+    request.on_complete(
+        blocklayer::IoResult{tracker->first_error,
+                             std::move(tracker->tokens)});
+  };
+
+  switch (request.op) {
+    case blocklayer::IoOp::kRead:
+      for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+        const Lba lba = request.lba + i;
+        std::uint64_t buffered = 0;
+        if (write_buffer_ != nullptr &&
+            write_buffer_->Lookup(lba, &buffered)) {
+          counters_.Increment("buffer_read_hits");
+          sim_->Schedule(config_.write_buffer.insert_ns,
+                         [on_page, i, buffered]() {
+                           on_page(i, Status::Ok(), buffered);
+                         });
+          continue;
+        }
+        ftl_->Read(lba, [on_page, i](StatusOr<std::uint64_t> res) {
+          if (res.ok()) {
+            on_page(i, Status::Ok(), *res);
+          } else {
+            on_page(i, res.status(), 0);
+          }
+        });
+      }
+      break;
+    case blocklayer::IoOp::kWrite:
+      for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+        const Lba lba = request.lba + i;
+        const std::uint64_t token = request.tokens[i];
+        if (write_buffer_ != nullptr) {
+          write_buffer_->SubmitWrite(lba, token, [on_page, i](Status st) {
+            on_page(i, std::move(st), 0);
+          });
+        } else {
+          ftl_->Write(lba, token, [on_page, i](Status st) {
+            on_page(i, std::move(st), 0);
+          });
+        }
+      }
+      break;
+    case blocklayer::IoOp::kTrim:
+      for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+        const Lba lba = request.lba + i;
+        if (write_buffer_ != nullptr) write_buffer_->Drop(lba);
+        ftl_->Trim(lba, [on_page, i](Status st) {
+          on_page(i, std::move(st), 0);
+        });
+      }
+      break;
+    case blocklayer::IoOp::kFlush: {
+      // Single logical page op regardless of nblocks.
+      tracker->remaining = 1;
+      if (write_buffer_ != nullptr) {
+        write_buffer_->Flush(
+            [on_page](Status st) { on_page(0, std::move(st), 0); });
+      } else {
+        sim_->Schedule(0, [on_page]() { on_page(0, Status::Ok(), 0); });
+      }
+      break;
+    }
+  }
+}
+
+Status Device::PowerCycle() {
+  if (page_ftl_ == nullptr) {
+    return Status::Unimplemented(
+        "power-cycle recovery requires the page-mapping FTL");
+  }
+  counters_.Increment("power_cycles");
+  ++epoch_;
+  if (write_buffer_ != nullptr && !config_.write_buffer.battery_backed) {
+    write_buffer_->DiscardAll();
+  }
+  PB_RETURN_IF_ERROR(page_ftl_->PowerCycle());
+  // Battery-backed buffers keep their contents; requeue them against
+  // the rebuilt FTL (their old drain completions died with the epoch).
+  if (write_buffer_ != nullptr && config_.write_buffer.battery_backed) {
+    write_buffer_->RequeueAfterPowerCycle();
+  }
+  return Status::Ok();
+}
+
+}  // namespace postblock::ssd

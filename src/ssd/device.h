@@ -1,0 +1,81 @@
+#ifndef POSTBLOCK_SSD_DEVICE_H_
+#define POSTBLOCK_SSD_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "blocklayer/block_device.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "ftl/ftl.h"
+#include "ftl/page_ftl.h"
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/controller.h"
+#include "ssd/write_buffer.h"
+
+namespace postblock::ssd {
+
+/// A complete simulated SSD exposed through the legacy block device
+/// interface: controller + FTL (per Config::ftl) + optional safe write
+/// cache. This is the device every myth bench and the "conservative"
+/// DB wiring talk to.
+class Device : public blocklayer::BlockDevice {
+ public:
+  Device(sim::Simulator* sim, const Config& config);
+  ~Device() override = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // --- BlockDevice -------------------------------------------------
+  std::uint64_t num_blocks() const override { return ftl_->user_pages(); }
+  std::uint32_t block_bytes() const override {
+    return config_.geometry.page_size_bytes;
+  }
+  void Submit(blocklayer::IoRequest request) override;
+  const Counters& counters() const override { return counters_; }
+
+  // --- Introspection ------------------------------------------------
+  sim::Simulator* sim() { return sim_; }
+  const Config& config() const { return config_; }
+  Controller* controller() { return controller_.get(); }
+  ftl::Ftl* ftl() { return ftl_.get(); }
+  /// Non-null when Config::ftl is kPageMap (extended vision commands:
+  /// atomic writes, nameless writes, power-cycle recovery).
+  ftl::PageFtl* page_ftl() { return page_ftl_; }
+  WriteBuffer* write_buffer() { return write_buffer_.get(); }
+
+  /// Host-visible latency distributions.
+  const Histogram& read_latency() const { return read_latency_; }
+  const Histogram& write_latency() const { return write_latency_; }
+
+  double WriteAmplification() const { return ftl_->WriteAmplification(); }
+
+  /// Simulates power loss + reboot. Un-drained buffered writes vanish
+  /// unless the buffer is battery-backed; the FTL rebuilds its mapping
+  /// from OOB metadata. Only supported for the page-mapping FTL.
+  Status PowerCycle();
+
+ private:
+  void SubmitPageOps(const std::shared_ptr<blocklayer::IoRequest>& req);
+
+  sim::Simulator* sim_;
+  Config config_;
+  std::uint64_t epoch_ = 0;  // bumped by PowerCycle; drops stale events
+  std::unique_ptr<Controller> controller_;
+  std::unique_ptr<ftl::Ftl> ftl_;
+  ftl::PageFtl* page_ftl_ = nullptr;  // borrowed view into ftl_
+  std::unique_ptr<WriteBuffer> write_buffer_;
+
+  Histogram read_latency_;
+  Histogram write_latency_;
+  Counters counters_;
+};
+
+/// Builds the FTL named by `config.ftl` over `controller`.
+std::unique_ptr<ftl::Ftl> MakeFtl(Controller* controller);
+
+}  // namespace postblock::ssd
+
+#endif  // POSTBLOCK_SSD_DEVICE_H_

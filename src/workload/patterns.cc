@@ -1,0 +1,135 @@
+#include "workload/patterns.h"
+
+#include <memory>
+#include <utility>
+
+namespace postblock::workload {
+
+SequentialPattern::SequentialPattern(Lba start, std::uint64_t len,
+                                     bool is_write, std::uint32_t nblocks)
+    : start_(start), len_(len), is_write_(is_write), nblocks_(nblocks) {}
+
+IoDesc SequentialPattern::Next() {
+  IoDesc d;
+  d.is_write = is_write_;
+  d.nblocks = nblocks_;
+  d.lba = start_ + pos_;
+  pos_ += nblocks_;
+  if (pos_ + nblocks_ > len_) pos_ = 0;
+  return d;
+}
+
+RandomPattern::RandomPattern(Lba start, std::uint64_t len, bool is_write,
+                             std::uint32_t nblocks, std::uint64_t seed)
+    : start_(start),
+      len_(len),
+      is_write_(is_write),
+      nblocks_(nblocks),
+      rng_(seed) {}
+
+IoDesc RandomPattern::Next() {
+  IoDesc d;
+  d.is_write = is_write_;
+  d.nblocks = nblocks_;
+  const std::uint64_t slots = len_ / nblocks_;
+  d.lba = start_ + rng_.Uniform(slots) * nblocks_;
+  return d;
+}
+
+StridedPattern::StridedPattern(Lba start, std::uint64_t len,
+                               std::uint64_t stride, bool is_write)
+    : start_(start), len_(len), stride_(stride), is_write_(is_write) {}
+
+IoDesc StridedPattern::Next() {
+  IoDesc d;
+  d.is_write = is_write_;
+  d.lba = start_ + pos_;
+  pos_ = (pos_ + stride_) % len_;
+  return d;
+}
+
+ZipfPattern::ZipfPattern(Lba start, std::uint64_t len, double theta,
+                         bool is_write, std::uint64_t seed)
+    : start_(start), is_write_(is_write), zipf_(len, theta, seed) {}
+
+IoDesc ZipfPattern::Next() {
+  IoDesc d;
+  d.is_write = is_write_;
+  d.lba = start_ + zipf_.Next();
+  return d;
+}
+
+MixedPattern::MixedPattern(std::unique_ptr<Pattern> reads,
+                           std::unique_ptr<Pattern> writes,
+                           double write_fraction, std::uint64_t seed)
+    : reads_(std::move(reads)),
+      writes_(std::move(writes)),
+      write_fraction_(write_fraction),
+      rng_(seed) {}
+
+IoDesc MixedPattern::Next() {
+  if (rng_.Bernoulli(write_fraction_)) {
+    IoDesc d = writes_->Next();
+    d.is_write = true;
+    return d;
+  }
+  IoDesc d = reads_->Next();
+  d.is_write = false;
+  return d;
+}
+
+RunResult RunClosedLoop(sim::Simulator* sim,
+                        blocklayer::BlockDevice* device, Pattern* pattern,
+                        std::uint64_t ops, std::uint32_t queue_depth) {
+  struct State {
+    RunResult result;
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    SimTime start;
+  };
+  auto state = std::make_shared<State>();
+  state->start = sim->Now();
+
+  // Self-referential issue loop: each completion refills the queue.
+  auto issue_one = std::make_shared<std::function<void()>>();
+  *issue_one = [sim, device, pattern, ops, state, issue_one]() {
+    if (state->issued >= ops) return;
+    const std::uint64_t index = state->issued++;
+    const IoDesc d = pattern->Next();
+    blocklayer::IoRequest req;
+    req.op = d.is_write ? blocklayer::IoOp::kWrite : blocklayer::IoOp::kRead;
+    req.lba = d.lba;
+    req.nblocks = d.nblocks;
+    if (d.is_write) {
+      req.tokens.reserve(d.nblocks);
+      for (std::uint32_t b = 0; b < d.nblocks; ++b) {
+        // Deterministic content stamp: integrity checks recompute it.
+        req.tokens.push_back((d.lba + b) * 1000003ull + index + 1);
+      }
+    }
+    const SimTime submit_time = sim->Now();
+    const std::uint32_t nblocks = d.nblocks;
+    req.on_complete = [sim, state, submit_time, nblocks, issue_one](
+                          const blocklayer::IoResult& r) {
+      ++state->completed;
+      state->result.blocks += nblocks;
+      if (!r.status.ok()) ++state->result.errors;
+      state->result.latency.Record(sim->Now() - submit_time);
+      (*issue_one)();
+    };
+    device->Submit(std::move(req));
+  };
+
+  for (std::uint32_t q = 0; q < queue_depth; ++q) (*issue_one)();
+  sim->RunUntilPredicate(
+      [state, ops]() { return state->completed >= ops; });
+
+  state->result.ops = state->completed;
+  state->result.elapsed_ns = sim->Now() - state->start;
+  RunResult out = std::move(state->result);
+  // Break the issue_one self-reference cycle so the closure releases.
+  *issue_one = []() {};
+  return out;
+}
+
+}  // namespace postblock::workload

@@ -1,0 +1,138 @@
+#ifndef POSTBLOCK_WORKLOAD_PATTERNS_H_
+#define POSTBLOCK_WORKLOAD_PATTERNS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "blocklayer/block_device.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "workload/zipf.h"
+
+namespace postblock::workload {
+
+/// One host IO in a generated stream.
+struct IoDesc {
+  bool is_write = false;
+  Lba lba = 0;
+  std::uint32_t nblocks = 1;
+};
+
+/// uFLIP-style access pattern generator (the authors' own benchmark
+/// methodology, refs [2,3,6]): each call yields the next IO.
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+  virtual IoDesc Next() = 0;
+};
+
+/// Sequential over [start, start+len), wrapping.
+class SequentialPattern : public Pattern {
+ public:
+  SequentialPattern(Lba start, std::uint64_t len, bool is_write,
+                    std::uint32_t nblocks = 1);
+  IoDesc Next() override;
+
+ private:
+  Lba start_;
+  std::uint64_t len_;
+  bool is_write_;
+  std::uint32_t nblocks_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Uniform random, block-aligned.
+class RandomPattern : public Pattern {
+ public:
+  RandomPattern(Lba start, std::uint64_t len, bool is_write,
+                std::uint32_t nblocks = 1, std::uint64_t seed = 11);
+  IoDesc Next() override;
+
+ private:
+  Lba start_;
+  std::uint64_t len_;
+  bool is_write_;
+  std::uint32_t nblocks_;
+  Rng rng_;
+};
+
+/// Fixed-stride (uFLIP's "stride" micro-pattern).
+class StridedPattern : public Pattern {
+ public:
+  StridedPattern(Lba start, std::uint64_t len, std::uint64_t stride,
+                 bool is_write);
+  IoDesc Next() override;
+
+ private:
+  Lba start_;
+  std::uint64_t len_;
+  std::uint64_t stride_;
+  bool is_write_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Zipf-skewed random single-block accesses.
+class ZipfPattern : public Pattern {
+ public:
+  ZipfPattern(Lba start, std::uint64_t len, double theta, bool is_write,
+              std::uint64_t seed = 13);
+  IoDesc Next() override;
+
+ private:
+  Lba start_;
+  bool is_write_;
+  ZipfGenerator zipf_;
+};
+
+/// Probabilistic read/write mix over two sub-patterns.
+class MixedPattern : public Pattern {
+ public:
+  MixedPattern(std::unique_ptr<Pattern> reads,
+               std::unique_ptr<Pattern> writes, double write_fraction,
+               std::uint64_t seed = 17);
+  IoDesc Next() override;
+
+ private:
+  std::unique_ptr<Pattern> reads_;
+  std::unique_ptr<Pattern> writes_;
+  double write_fraction_;
+  Rng rng_;
+};
+
+/// Result of a closed-loop run against a block device.
+struct RunResult {
+  std::uint64_t ops = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t errors = 0;
+  SimTime elapsed_ns = 0;
+  Histogram latency;  // per-request, ns
+
+  double Iops() const {
+    return elapsed_ns == 0
+               ? 0.0
+               : static_cast<double>(ops) * 1e9 /
+                     static_cast<double>(elapsed_ns);
+  }
+  double BytesPerSec(std::uint32_t block_bytes) const {
+    return elapsed_ns == 0
+               ? 0.0
+               : static_cast<double>(blocks) * block_bytes * 1e9 /
+                     static_cast<double>(elapsed_ns);
+  }
+};
+
+/// Drives `ops` IOs from `pattern` at a fixed queue depth (closed loop),
+/// runs the simulator to completion, and reports throughput + latency.
+/// Write tokens are derived from (lba, op index) so integrity checks can
+/// recompute them.
+RunResult RunClosedLoop(sim::Simulator* sim,
+                        blocklayer::BlockDevice* device, Pattern* pattern,
+                        std::uint64_t ops, std::uint32_t queue_depth);
+
+}  // namespace postblock::workload
+
+#endif  // POSTBLOCK_WORKLOAD_PATTERNS_H_

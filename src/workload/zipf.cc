@@ -1,0 +1,26 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace postblock::workload {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta,
+                             std::uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  cdf_.resize(n_);
+  double sum = 0;
+  for (std::uint64_t r = 0; r < n_; ++r) {
+    sum += 1.0 / std::pow(static_cast<double>(r + 1), theta_);
+    cdf_[r] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace postblock::workload

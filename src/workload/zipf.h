@@ -1,0 +1,32 @@
+#ifndef POSTBLOCK_WORKLOAD_ZIPF_H_
+#define POSTBLOCK_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace postblock::workload {
+
+/// Zipf-distributed values in [0, n): rank r drawn with probability
+/// proportional to 1/(r+1)^theta. theta=0 degenerates to uniform;
+/// theta around 0.99 is the usual "skewed OLTP" setting.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 7);
+
+  std::uint64_t Next();
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  Rng rng_;
+  std::vector<double> cdf_;  // cumulative probability by rank
+};
+
+}  // namespace postblock::workload
+
+#endif  // POSTBLOCK_WORKLOAD_ZIPF_H_

@@ -1,0 +1,274 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/table.h"
+
+namespace postblock {
+namespace {
+
+// --- Status ----------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("lba 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "lba 42");
+  EXPECT_EQ(s.ToString(), "NotFound: lba 42");
+}
+
+TEST(StatusTest, PredicatesMatchOnlyTheirCode) {
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_FALSE(Status::DataLoss("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+Status Fails() { return Status::Internal("boom"); }
+Status Propagates() {
+  PB_RETURN_IF_ERROR(Fails());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kInternal);
+}
+
+StatusOr<int> MaybeInt(bool ok) {
+  if (ok) return 7;
+  return Status::NotFound("no int");
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto good = MaybeInt(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  EXPECT_EQ(good.value_or(9), 7);
+
+  auto bad = MaybeInt(false);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+StatusOr<int> Doubled(bool ok) {
+  int v = 0;
+  PB_ASSIGN_OR_RETURN(v, MaybeInt(ok));
+  return v * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturn) {
+  EXPECT_EQ(*Doubled(true), 14);
+  EXPECT_FALSE(Doubled(false).ok());
+}
+
+// --- Rng -------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformRange(5, 7);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbabilityRoughly) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+// --- Histogram --------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_NEAR(h.Mean(), 15.5, 1e-9);
+  EXPECT_EQ(h.Percentile(50), 15u);
+}
+
+TEST(HistogramTest, PercentileApproximatesLargeValues) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1'000'000);
+  const auto p50 = h.Percentile(50);
+  EXPECT_NEAR(static_cast<double>(p50), 1e6, 1e6 * 0.05);
+}
+
+TEST(HistogramTest, PercentileOrdering) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_NEAR(a.Mean(), 20.0, 1e-9);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, RecordNWeightsSamples) {
+  Histogram h;
+  h.RecordN(100, 5);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_NEAR(h.Mean(), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(1);
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+// --- Counters ----------------------------------------------------------
+
+TEST(CountersTest, GetUnknownIsZero) {
+  Counters c;
+  EXPECT_EQ(c.Get("nope"), 0u);
+}
+
+TEST(CountersTest, AddAndIncrement) {
+  Counters c;
+  c.Increment("a");
+  c.Add("a", 4);
+  EXPECT_EQ(c.Get("a"), 5u);
+  c.Reset();
+  EXPECT_EQ(c.Get("a"), 0u);
+}
+
+TEST(CountersTest, ToStringListsAll) {
+  Counters c;
+  c.Add("x", 1);
+  c.Add("y", 2);
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("x = 1"), std::string::npos);
+  EXPECT_NE(s.find("y = 2"), std::string::npos);
+}
+
+// --- Table -------------------------------------------------------------
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.AddRow({"1", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NE(t.ToString().find("only"), std::string::npos);
+}
+
+TEST(TableTest, TimeFormatting) {
+  EXPECT_EQ(Table::Time(500), "500 ns");
+  EXPECT_EQ(Table::Time(50'000), "50.0 us");
+  EXPECT_EQ(Table::Time(50'000'000), "50.00 ms");
+  EXPECT_EQ(Table::Time(50'000'000'000ull), "50.00 s");
+}
+
+TEST(TableTest, RateFormatting) {
+  EXPECT_NE(Table::Rate(500.0 * 1024).find("KiB/s"), std::string::npos);
+  EXPECT_NE(Table::Rate(5.0 * 1024 * 1024).find("MiB/s"),
+            std::string::npos);
+  EXPECT_NE(Table::Rate(5.0 * 1024 * 1024 * 1024).find("GiB/s"),
+            std::string::npos);
+}
+
+TEST(TableTest, NumPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+}  // namespace
+}  // namespace postblock

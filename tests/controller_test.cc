@@ -1,0 +1,199 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/controller.h"
+
+namespace postblock::ssd {
+namespace {
+
+// One channel, four LUNs: the Figure 1 configuration.
+Config Fig1Config() {
+  Config c;
+  c.geometry.channels = 1;
+  c.geometry.luns_per_channel = 4;
+  c.geometry.planes_per_lun = 1;
+  c.geometry.blocks_per_plane = 4;
+  c.geometry.pages_per_block = 8;
+  c.geometry.page_size_bytes = 4096;
+  c.timing = flash::Timing::Mlc();
+  return c;
+}
+
+// Expected single-op latencies for the default MLC timing.
+constexpr SimTime kArrayRead = 200 + 40'000;        // cmd + t_read
+constexpr SimTime kTransfer = 200 + 20'480;         // cmd + 4KiB @200MB/s
+constexpr SimTime kProgram = 400'000;
+constexpr SimTime kErase = 2'000'000;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : controller_(&sim_, Fig1Config()) {}
+
+  sim::Simulator sim_;
+  Controller controller_;
+};
+
+TEST_F(ControllerTest, IsolatedReadLatency) {
+  // A page must exist before it can be read.
+  flash::Ppa ppa{0, 0, 0, 0, 0};
+  bool prog_done = false;
+  controller_.ProgramPage(ppa, flash::PageData{0, 1, 77, 0},
+                          [&](Status st) {
+                            ASSERT_TRUE(st.ok());
+                            prog_done = true;
+                          });
+  sim_.Run();
+  ASSERT_TRUE(prog_done);
+
+  const SimTime start = sim_.Now();
+  SimTime done_at = 0;
+  std::uint64_t token = 0;
+  controller_.ReadPage(ppa, [&](StatusOr<flash::PageData> r) {
+    ASSERT_TRUE(r.ok());
+    token = r->token;
+    done_at = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(token, 77u);
+  EXPECT_EQ(done_at - start, kArrayRead + kTransfer);
+}
+
+TEST_F(ControllerTest, IsolatedProgramLatency) {
+  SimTime done_at = 0;
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 0}, flash::PageData{},
+                          [&](Status st) {
+                            ASSERT_TRUE(st.ok());
+                            done_at = sim_.Now();
+                          });
+  sim_.Run();
+  EXPECT_EQ(done_at, kTransfer + kProgram);
+}
+
+TEST_F(ControllerTest, IsolatedEraseLatency) {
+  SimTime done_at = 0;
+  controller_.EraseBlock(flash::BlockAddr{0, 0, 0, 0}, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    done_at = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(done_at, 200u + kErase);
+}
+
+// Figure 1, right side: four parallel programs to four LUNs on one
+// channel are *chip-bound* — transfers serialize but the long array
+// programs overlap, so the makespan is ~(4 transfers + 1 program), far
+// below 4 serial programs.
+TEST_F(ControllerTest, Fig1ParallelWritesAreChipBound) {
+  std::vector<SimTime> done;
+  for (std::uint32_t lun = 0; lun < 4; ++lun) {
+    controller_.ProgramPage(flash::Ppa{0, lun, 0, 0, 0},
+                            flash::PageData{}, [&](Status st) {
+                              ASSERT_TRUE(st.ok());
+                              done.push_back(sim_.Now());
+                            });
+  }
+  sim_.Run();
+  ASSERT_EQ(done.size(), 4u);
+  const SimTime makespan = done.back();
+  EXPECT_EQ(makespan, 4 * kTransfer + kProgram);
+  // Near-4x speedup over serial execution.
+  EXPECT_LT(makespan, 4 * (kTransfer + kProgram) / 3);
+}
+
+// Figure 1, left side: four parallel reads on one channel are
+// *channel-bound* — array reads overlap but every page must cross the
+// single bus, so the makespan is ~(1 array read + 4 transfers).
+TEST_F(ControllerTest, Fig1ParallelReadsAreChannelBound) {
+  for (std::uint32_t lun = 0; lun < 4; ++lun) {
+    controller_.ProgramPage(flash::Ppa{0, lun, 0, 0, 0},
+                            flash::PageData{0, 1, lun, 0},
+                            [](Status st) { ASSERT_TRUE(st.ok()); });
+  }
+  sim_.Run();
+  const SimTime start = sim_.Now();
+  std::vector<SimTime> done;
+  for (std::uint32_t lun = 0; lun < 4; ++lun) {
+    controller_.ReadPage(flash::Ppa{0, lun, 0, 0, 0},
+                         [&](StatusOr<flash::PageData> r) {
+                           ASSERT_TRUE(r.ok());
+                           done.push_back(sim_.Now());
+                         });
+  }
+  sim_.Run();
+  ASSERT_EQ(done.size(), 4u);
+  const SimTime makespan = done.back() - start;
+  EXPECT_EQ(makespan, kArrayRead + 4 * kTransfer);
+  // Reads gain at most ~2x from LUN parallelism here: channel-bound.
+  EXPECT_GT(makespan, 4 * kTransfer);
+}
+
+TEST_F(ControllerTest, SameLunOperationsSerialize) {
+  // Two programs to the same LUN (different pages) cannot overlap their
+  // array-program phases.
+  std::vector<SimTime> done;
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 0}, flash::PageData{},
+                          [&](Status) { done.push_back(sim_.Now()); });
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 1}, flash::PageData{},
+                          [&](Status) { done.push_back(sim_.Now()); });
+  sim_.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], kTransfer + kProgram);
+  EXPECT_EQ(done[1], 2 * (kTransfer + kProgram));
+}
+
+TEST_F(ControllerTest, ReadBehindEraseStalls) {
+  // The paper, Myth 3: "wait 3ms for the completion of an erase
+  // operation on that LUN". A read queued behind an erase on the same
+  // LUN pays the full erase latency first.
+  flash::Ppa ppa{0, 0, 0, 1, 0};
+  controller_.ProgramPage(ppa, flash::PageData{0, 1, 1, 0},
+                          [](Status st) { ASSERT_TRUE(st.ok()); });
+  sim_.Run();
+  const SimTime start = sim_.Now();
+  SimTime read_done = 0;
+  controller_.EraseBlock(flash::BlockAddr{0, 0, 0, 0}, [](Status) {});
+  controller_.ReadPage(ppa, [&](StatusOr<flash::PageData> r) {
+    ASSERT_TRUE(r.ok());
+    read_done = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_GE(read_done - start, kErase + kArrayRead + kTransfer);
+}
+
+TEST_F(ControllerTest, LatencyHistogramsPopulate) {
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 0}, flash::PageData{},
+                          [](Status) {});
+  sim_.Run();
+  controller_.ReadPage(flash::Ppa{0, 0, 0, 0, 0},
+                       [](StatusOr<flash::PageData>) {});
+  controller_.EraseBlock(flash::BlockAddr{0, 0, 0, 1}, [](Status) {});
+  sim_.Run();
+  EXPECT_EQ(controller_.program_latency().count(), 1u);
+  EXPECT_EQ(controller_.read_latency().count(), 1u);
+  EXPECT_EQ(controller_.erase_latency().count(), 1u);
+}
+
+TEST_F(ControllerTest, ProgramConstraintViolationSurfacesInCallback) {
+  Status seen;
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 0}, flash::PageData{},
+                          [&](Status st) { seen = st; });
+  sim_.Run();
+  ASSERT_TRUE(seen.ok());
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 0}, flash::PageData{},
+                          [&](Status st) { seen = st; });
+  sim_.Run();
+  EXPECT_TRUE(seen.IsFailedPrecondition());
+}
+
+TEST_F(ControllerTest, ChannelUtilizationTracked) {
+  controller_.ProgramPage(flash::Ppa{0, 0, 0, 0, 0}, flash::PageData{},
+                          [](Status) {});
+  sim_.Run();
+  EXPECT_GT(controller_.channel(0)->Utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace postblock::ssd

@@ -1,0 +1,146 @@
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ftl/dftl.h"
+#include "sim/completion.h"
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/controller.h"
+
+namespace postblock::ftl {
+namespace {
+
+ssd::Config DftlConfig(std::uint32_t cmt_pages,
+                       std::uint32_t entries_per_tp = 32) {
+  ssd::Config c = ssd::Config::Small();
+  c.ftl = ssd::FtlKind::kDftl;
+  c.dftl_cmt_pages = cmt_pages;
+  c.dftl_entries_per_tp = entries_per_tp;
+  return c;
+}
+
+class DftlTest : public ::testing::Test {
+ protected:
+  void Build(const ssd::Config& config) {
+    ftl_.reset();
+    controller_.reset();
+    simulator_ = std::make_unique<sim::Simulator>();
+    controller_ =
+        std::make_unique<ssd::Controller>(simulator_.get(), config);
+    ftl_ = std::make_unique<Dftl>(controller_.get());
+  }
+
+  void SetUp() override { Build(DftlConfig(4)); }
+
+  Status WriteSync(Lba lba, std::uint64_t token) {
+    sim::Completion done;
+    ftl_->Write(lba, token, done.AsCallback(simulator_.get()));
+    EXPECT_TRUE(sim::WaitFor(simulator_.get(), done));
+    return done.status();
+  }
+
+  StatusOr<std::uint64_t> ReadSync(Lba lba) {
+    StatusOr<std::uint64_t> out = Status::Internal("not run");
+    bool fired = false;
+    ftl_->Read(lba, [&](StatusOr<std::uint64_t> r) {
+      out = std::move(r);
+      fired = true;
+    });
+    EXPECT_TRUE(simulator_->RunUntilPredicate([&] { return fired; }));
+    return out;
+  }
+
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<ssd::Controller> controller_;
+  std::unique_ptr<Dftl> ftl_;
+};
+
+TEST_F(DftlTest, RoundTripAndOverwrite) {
+  ASSERT_TRUE(WriteSync(5, 1).ok());
+  ASSERT_TRUE(WriteSync(5, 2).ok());
+  EXPECT_EQ(*ReadSync(5), 2u);
+}
+
+TEST_F(DftlTest, UserSpaceShrunkByTranslationPages) {
+  const std::uint64_t raw_user = controller_->config().UserPages();
+  EXPECT_LT(ftl_->user_pages(), raw_user);
+}
+
+TEST_F(DftlTest, RepeatedAccessToSameRegionHitsCmt) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(WriteSync(i % 8, i).ok());  // one translation page
+  }
+  EXPECT_GE(ftl_->counters().Get("cmt_hits"), 49u);
+  EXPECT_EQ(ftl_->counters().Get("cmt_misses"), 1u);
+}
+
+TEST_F(DftlTest, ScatteredAccessMissesAndEvicts) {
+  const std::uint32_t entries = 32;
+  // Touch 16 translation pages with a CMT of 4: constant misses.
+  for (Lba tp = 0; tp < 16; ++tp) {
+    ASSERT_TRUE(WriteSync(tp * entries, tp).ok());
+  }
+  EXPECT_EQ(ftl_->counters().Get("cmt_misses"), 16u);
+  EXPECT_GT(ftl_->counters().Get("cmt_evictions_dirty"), 0u);
+  EXPECT_GT(ftl_->counters().Get("map_writes"), 0u);
+  EXPECT_EQ(ftl_->cached_translation_pages(), 4u);
+}
+
+TEST_F(DftlTest, EvictedTranslationPagesAreReadBack) {
+  const std::uint32_t entries = 32;
+  for (Lba tp = 0; tp < 8; ++tp) {
+    ASSERT_TRUE(WriteSync(tp * entries, tp).ok());
+  }
+  // Revisit the first translation page: it was evicted dirty, so the
+  // fetch costs a real map read.
+  ASSERT_TRUE(WriteSync(0, 99).ok());
+  EXPECT_GT(ftl_->counters().Get("map_reads"), 0u);
+  EXPECT_EQ(*ReadSync(0), 99u);
+}
+
+TEST_F(DftlTest, MapTrafficInflatesWriteAmplification) {
+  const std::uint32_t entries = 32;
+  Rng rng(3);
+  // Far more translation pages than the CMT holds, inside user space.
+  const Lba span = std::min<Lba>(ftl_->user_pages(), 48 * entries);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(WriteSync(rng.Uniform(span), i + 1).ok());
+  }
+  // Map programs count as flash programs but not host pages.
+  EXPECT_GT(ftl_->WriteAmplification(), 1.1);
+}
+
+TEST_F(DftlTest, LargeCmtBehavesLikePageMapping) {
+  Build(DftlConfig(/*cmt_pages=*/1024));
+  Rng rng(3);
+  for (int i = 0; i < 600; ++i) {
+    ASSERT_TRUE(WriteSync(rng.Uniform(1024), i + 1).ok());
+  }
+  EXPECT_EQ(ftl_->counters().Get("map_writes"), 0u);
+  EXPECT_LT(ftl_->WriteAmplification(), 1.1);
+}
+
+TEST_F(DftlTest, IntegrityUnderChurn) {
+  std::map<Lba, std::uint64_t> shadow;
+  Rng rng(77);
+  const Lba n = std::min<Lba>(ftl_->user_pages(), 512);
+  for (int i = 0; i < 2000; ++i) {
+    const Lba lba = rng.Uniform(n);
+    ASSERT_TRUE(WriteSync(lba, i + 1).ok()) << i;
+    shadow[lba] = i + 1;
+  }
+  for (const auto& [lba, token] : shadow) {
+    ASSERT_EQ(*ReadSync(lba), token) << lba;
+  }
+}
+
+TEST_F(DftlTest, OutOfRangeRejected) {
+  EXPECT_TRUE(WriteSync(ftl_->user_pages(), 1).IsOutOfRange());
+  EXPECT_TRUE(ReadSync(ftl_->user_pages()).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace postblock::ftl

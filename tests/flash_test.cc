@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include "flash/address.h"
+#include "flash/chip.h"
+#include "flash/error_model.h"
+#include "flash/geometry.h"
+#include "flash/page_store.h"
+#include "flash/timing.h"
+
+namespace postblock::flash {
+namespace {
+
+Geometry TinyGeometry() {
+  Geometry g;
+  g.channels = 2;
+  g.luns_per_channel = 2;
+  g.planes_per_lun = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 8;
+  g.page_size_bytes = 4096;
+  return g;
+}
+
+// --- Geometry ----------------------------------------------------------
+
+TEST(GeometryTest, DerivedCounts) {
+  const Geometry g = TinyGeometry();
+  EXPECT_EQ(g.luns(), 4u);
+  EXPECT_EQ(g.blocks_per_lun(), 8u);
+  EXPECT_EQ(g.total_blocks(), 32u);
+  EXPECT_EQ(g.pages_per_lun(), 64u);
+  EXPECT_EQ(g.total_pages(), 256u);
+  EXPECT_EQ(g.capacity_bytes(), 256u * 4096);
+  EXPECT_TRUE(g.Valid());
+}
+
+TEST(GeometryTest, InvalidWhenAnyDimensionZero) {
+  Geometry g = TinyGeometry();
+  g.channels = 0;
+  EXPECT_FALSE(g.Valid());
+}
+
+// --- Addressing --------------------------------------------------------
+
+class AddressRoundTripTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(AddressRoundTripTest, PpaFlattenRoundTrips) {
+  const Geometry g = GetParam();
+  for (std::uint64_t f = 0; f < g.total_pages(); ++f) {
+    const Ppa ppa = Ppa::FromFlat(g, f);
+    EXPECT_TRUE(InBounds(g, ppa));
+    EXPECT_EQ(ppa.Flatten(g), f);
+  }
+}
+
+TEST_P(AddressRoundTripTest, BlockFlattenRoundTrips) {
+  const Geometry g = GetParam();
+  for (std::uint64_t f = 0; f < g.total_blocks(); ++f) {
+    const BlockAddr a = BlockAddr::FromFlat(g, f);
+    EXPECT_TRUE(InBounds(g, a));
+    EXPECT_EQ(a.Flatten(g), f);
+  }
+}
+
+Geometry Slim() {
+  Geometry g;
+  g.channels = 1;
+  g.luns_per_channel = 1;
+  g.planes_per_lun = 1;
+  g.blocks_per_plane = 3;
+  g.pages_per_block = 2;
+  return g;
+}
+
+Geometry Wide() {
+  Geometry g;
+  g.channels = 8;
+  g.luns_per_channel = 4;
+  g.planes_per_lun = 1;
+  g.blocks_per_plane = 2;
+  g.pages_per_block = 4;
+  return g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, AddressRoundTripTest,
+                         ::testing::Values(TinyGeometry(), Slim(), Wide()));
+
+TEST(AddressTest, GlobalLunIsChannelMajor) {
+  const Geometry g = TinyGeometry();  // 2 channels x 2 luns
+  EXPECT_EQ((Ppa{0, 0, 0, 0, 0}).GlobalLun(g), 0u);
+  EXPECT_EQ((Ppa{0, 1, 0, 0, 0}).GlobalLun(g), 1u);
+  EXPECT_EQ((Ppa{1, 0, 0, 0, 0}).GlobalLun(g), 2u);
+  EXPECT_EQ((Ppa{1, 1, 0, 0, 0}).GlobalLun(g), 3u);
+}
+
+TEST(AddressTest, OutOfBoundsDetected) {
+  const Geometry g = TinyGeometry();
+  EXPECT_FALSE(InBounds(g, Ppa{2, 0, 0, 0, 0}));
+  EXPECT_FALSE(InBounds(g, Ppa{0, 2, 0, 0, 0}));
+  EXPECT_FALSE(InBounds(g, Ppa{0, 0, 2, 0, 0}));
+  EXPECT_FALSE(InBounds(g, Ppa{0, 0, 0, 4, 0}));
+  EXPECT_FALSE(InBounds(g, Ppa{0, 0, 0, 0, 8}));
+}
+
+TEST(AddressTest, ToStringIsReadable) {
+  EXPECT_EQ((Ppa{1, 2, 0, 3, 4}).ToString(), "ch1/lun2/pl0/blk3/pg4");
+  EXPECT_EQ((BlockAddr{1, 2, 0, 3}).ToString(), "ch1/lun2/pl0/blk3");
+}
+
+// --- Timing ------------------------------------------------------------
+
+TEST(TimingTest, TransferScalesWithPageSize) {
+  const Timing t = Timing::Mlc();
+  // 4 KiB at 200 MB/s = 20480 ns + command cycles.
+  EXPECT_EQ(t.TransferNs(4096), t.cmd_ns + 20480u);
+  EXPECT_GT(t.TransferNs(8192), t.TransferNs(4096));
+}
+
+TEST(TimingTest, GradeOrdering) {
+  EXPECT_LT(Timing::Slc().program_ns, Timing::Mlc().program_ns);
+  EXPECT_LT(Timing::Mlc().program_ns, Timing::Tlc().program_ns);
+  EXPECT_LT(Timing::Slc().read_ns, Timing::Tlc().read_ns);
+}
+
+// --- PageStore constraints (C1-C4) --------------------------------------
+
+class PageStoreTest : public ::testing::Test {
+ protected:
+  PageStoreTest() : store_(TinyGeometry()) {}
+  PageStore store_;
+};
+
+TEST_F(PageStoreTest, ProgramThenReadRoundTrips) {
+  const Ppa ppa{0, 0, 0, 0, 0};
+  ASSERT_TRUE(store_.Program(ppa, PageData{7, 1, 0xABCD, 0}).ok());
+  auto r = store_.Read(ppa);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->lba, 7u);
+  EXPECT_EQ(r->token, 0xABCDu);
+}
+
+TEST_F(PageStoreTest, C2ReprogramWithoutEraseFails) {
+  const Ppa ppa{0, 0, 0, 0, 0};
+  ASSERT_TRUE(store_.Program(ppa, PageData{}).ok());
+  const Status st = store_.Program(ppa, PageData{});
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("C2"), std::string::npos);
+}
+
+TEST_F(PageStoreTest, C3BackwardsProgramFails) {
+  ASSERT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 3}, PageData{}).ok());
+  const Status st = store_.Program(Ppa{0, 0, 0, 0, 1}, PageData{});
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("C3"), std::string::npos);
+}
+
+TEST_F(PageStoreTest, C3AscendingWithGapsAllowed) {
+  EXPECT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 1}, PageData{}).ok());
+  EXPECT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 5}, PageData{}).ok());
+  EXPECT_EQ(store_.GetBlockInfo(BlockAddr{0, 0, 0, 0}).write_point, 6u);
+}
+
+TEST_F(PageStoreTest, ReadOfErasedPageFails) {
+  EXPECT_TRUE(store_.Read(Ppa{0, 0, 0, 0, 0}).status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(PageStoreTest, InvalidPagesRemainReadable) {
+  const Ppa ppa{0, 0, 0, 0, 0};
+  ASSERT_TRUE(store_.Program(ppa, PageData{1, 1, 42, 0}).ok());
+  ASSERT_TRUE(store_.MarkInvalid(ppa).ok());
+  auto r = store_.Read(ppa);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->token, 42u);
+}
+
+TEST_F(PageStoreTest, EraseResetsBlock) {
+  const BlockAddr blk{0, 0, 0, 0};
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE(store_.Program(Ppa{0, 0, 0, 0, p}, PageData{p, 1, p, 0})
+                    .ok());
+  }
+  EXPECT_EQ(store_.GetBlockInfo(blk).valid_pages, 8u);
+  ASSERT_TRUE(store_.Erase(blk).ok());
+  const BlockInfo& info = store_.GetBlockInfo(blk);
+  EXPECT_EQ(info.write_point, 0u);
+  EXPECT_EQ(info.valid_pages, 0u);
+  EXPECT_EQ(info.erase_count, 1u);  // C4 bookkeeping
+  EXPECT_EQ(store_.GetPageState(Ppa{0, 0, 0, 0, 3}), PageState::kFree);
+  // And the block can be programmed again from page 0.
+  EXPECT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 0}, PageData{}).ok());
+}
+
+TEST_F(PageStoreTest, MarkInvalidUpdatesValidCount) {
+  ASSERT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 0}, PageData{}).ok());
+  ASSERT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 1}, PageData{}).ok());
+  ASSERT_TRUE(store_.MarkInvalid(Ppa{0, 0, 0, 0, 0}).ok());
+  EXPECT_EQ(store_.GetBlockInfo(BlockAddr{0, 0, 0, 0}).valid_pages, 1u);
+  // Double-invalidate is rejected.
+  EXPECT_TRUE(store_.MarkInvalid(Ppa{0, 0, 0, 0, 0})
+                  .IsFailedPrecondition());
+}
+
+TEST_F(PageStoreTest, RevalidateRestoresValidity) {
+  const Ppa ppa{0, 0, 0, 0, 0};
+  ASSERT_TRUE(store_.Program(ppa, PageData{}).ok());
+  ASSERT_TRUE(store_.MarkInvalid(ppa).ok());
+  ASSERT_TRUE(store_.Revalidate(ppa).ok());
+  EXPECT_EQ(store_.GetPageState(ppa), PageState::kValid);
+  EXPECT_EQ(store_.GetBlockInfo(BlockAddr{0, 0, 0, 0}).valid_pages, 1u);
+  EXPECT_TRUE(store_.Revalidate(ppa).IsFailedPrecondition());
+}
+
+TEST_F(PageStoreTest, BadBlockRejectsProgramAndErase) {
+  const BlockAddr blk{0, 0, 0, 0};
+  ASSERT_TRUE(store_.MarkBad(blk).ok());
+  EXPECT_EQ(store_.bad_blocks(), 1u);
+  EXPECT_TRUE(store_.Program(Ppa{0, 0, 0, 0, 0}, PageData{})
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(store_.Erase(blk).IsFailedPrecondition());
+  // Idempotent.
+  ASSERT_TRUE(store_.MarkBad(blk).ok());
+  EXPECT_EQ(store_.bad_blocks(), 1u);
+}
+
+TEST_F(PageStoreTest, OutOfRangeOperationsRejected) {
+  EXPECT_TRUE(store_.Program(Ppa{9, 0, 0, 0, 0}, PageData{})
+                  .IsOutOfRange());
+  EXPECT_TRUE(store_.Read(Ppa{9, 0, 0, 0, 0}).status().IsOutOfRange());
+  EXPECT_TRUE(store_.Erase(BlockAddr{9, 0, 0, 0}).IsOutOfRange());
+  EXPECT_TRUE(store_.MarkInvalid(Ppa{9, 0, 0, 0, 0}).IsOutOfRange());
+}
+
+TEST_F(PageStoreTest, WearStatistics) {
+  ASSERT_TRUE(store_.Erase(BlockAddr{0, 0, 0, 0}).ok());
+  ASSERT_TRUE(store_.Erase(BlockAddr{0, 0, 0, 0}).ok());
+  ASSERT_TRUE(store_.Erase(BlockAddr{0, 0, 0, 1}).ok());
+  EXPECT_EQ(store_.MaxEraseCount(), 2u);
+  EXPECT_EQ(store_.MinEraseCount(), 0u);
+  EXPECT_NEAR(store_.MeanEraseCount(), 3.0 / 32, 1e-9);
+}
+
+// --- ErrorModel ----------------------------------------------------------
+
+TEST(ErrorModelTest, NoneNeverFails) {
+  ErrorModel m(ErrorModelConfig::None());
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(m.SampleRead(1000, &rng), ReadOutcome::kClean);
+    EXPECT_FALSE(m.SampleEraseFailure(1 << 20, &rng));
+  }
+}
+
+TEST(ErrorModelTest, WearFactorGrowsCubically) {
+  ErrorModel m(ErrorModelConfig::Mlc());
+  EXPECT_NEAR(m.WearFactor(0), 1.0, 1e-9);
+  EXPECT_GT(m.WearFactor(10000), m.WearFactor(5000));
+  EXPECT_GT(m.WearFactor(20000), 100.0);
+}
+
+TEST(ErrorModelTest, WornBlocksFailMoreOften) {
+  ErrorModel m(ErrorModelConfig::Tlc());
+  Rng rng(1);
+  int fresh_bad = 0;
+  int worn_bad = 0;
+  for (int i = 0; i < 20000; ++i) {
+    fresh_bad += m.SampleRead(0, &rng) == ReadOutcome::kUncorrectable;
+    worn_bad += m.SampleRead(25000, &rng) == ReadOutcome::kUncorrectable;
+  }
+  EXPECT_GT(worn_bad, fresh_bad);
+}
+
+TEST(ErrorModelTest, EraseFailuresOnlyPastEndurance) {
+  ErrorModel m(ErrorModelConfig::Mlc());
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(m.SampleEraseFailure(100, &rng));
+  }
+  int failures = 0;
+  for (int i = 0; i < 10000; ++i) {
+    failures += m.SampleEraseFailure(20001, &rng);
+  }
+  EXPECT_GT(failures, 0);
+}
+
+// --- FlashArray -----------------------------------------------------------
+
+TEST(FlashArrayTest, CountsOperations) {
+  FlashArray flash(TinyGeometry(), Timing::Mlc(),
+                   ErrorModelConfig::None());
+  ASSERT_TRUE(flash.Program(Ppa{0, 0, 0, 0, 0}, PageData{1, 1, 9, 0}).ok());
+  ASSERT_TRUE(flash.Read(Ppa{0, 0, 0, 0, 0}).ok());
+  ASSERT_TRUE(flash.Erase(BlockAddr{0, 0, 0, 1}).ok());
+  EXPECT_EQ(flash.counters().Get("pages_programmed"), 1u);
+  EXPECT_EQ(flash.counters().Get("pages_read"), 1u);
+  EXPECT_EQ(flash.counters().Get("blocks_erased"), 1u);
+}
+
+TEST(FlashArrayTest, UncorrectableReadsReportDataLoss) {
+  ErrorModelConfig errors;
+  errors.base_uncorrectable_rate = 1.0;  // every read dies
+  FlashArray flash(TinyGeometry(), Timing::Mlc(), errors);
+  ASSERT_TRUE(flash.Program(Ppa{0, 0, 0, 0, 0}, PageData{}).ok());
+  EXPECT_TRUE(flash.Read(Ppa{0, 0, 0, 0, 0}).status().IsDataLoss());
+  EXPECT_EQ(flash.counters().Get("reads_uncorrectable"), 1u);
+}
+
+TEST(FlashArrayTest, EraseFailureRetiresBlock) {
+  ErrorModelConfig errors;
+  errors.endurance_cycles = 1;
+  errors.post_endurance_erase_failure = 1.0;
+  FlashArray flash(TinyGeometry(), Timing::Mlc(), errors);
+  const BlockAddr blk{0, 0, 0, 0};
+  ASSERT_TRUE(flash.Erase(blk).ok());  // erase #1: at endurance, fine
+  EXPECT_TRUE(flash.Erase(blk).IsDataLoss());  // erase #2: dies
+  EXPECT_TRUE(flash.GetBlockInfo(blk).bad);
+  EXPECT_EQ(flash.bad_blocks(), 1u);
+}
+
+TEST(FlashArrayTest, PeekBypassesErrorModel) {
+  ErrorModelConfig errors;
+  errors.base_uncorrectable_rate = 1.0;
+  FlashArray flash(TinyGeometry(), Timing::Mlc(), errors);
+  ASSERT_TRUE(flash.Program(Ppa{0, 0, 0, 0, 0}, PageData{1, 1, 5, 0}).ok());
+  auto r = flash.Peek(Ppa{0, 0, 0, 0, 0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->token, 5u);
+}
+
+}  // namespace
+}  // namespace postblock::flash

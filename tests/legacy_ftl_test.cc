@@ -1,0 +1,277 @@
+// Tests for the pre-page-mapping FTLs: BlockFtl (early SSDs) and
+// HybridFtl (BAST-style log blocks) — the devices behind Myth 2's
+// "random writes are very costly".
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ftl/block_ftl.h"
+#include "ftl/hybrid_ftl.h"
+#include "sim/completion.h"
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/controller.h"
+
+namespace postblock::ftl {
+namespace {
+
+ssd::Config SmallConfig(ssd::FtlKind kind) {
+  ssd::Config c = ssd::Config::Small();
+  c.ftl = kind;
+  return c;
+}
+
+// Shared fixture driving any Ftl through synchronous helpers.
+class LegacyFtlTest : public ::testing::TestWithParam<ssd::FtlKind> {
+ protected:
+  void SetUp() override { Build(); }
+
+  void Build() {
+    ftl_.reset();
+    controller_.reset();
+    simulator_ = std::make_unique<sim::Simulator>();
+    controller_ = std::make_unique<ssd::Controller>(
+        simulator_.get(), SmallConfig(GetParam()));
+    if (GetParam() == ssd::FtlKind::kBlockMap) {
+      ftl_ = std::make_unique<BlockFtl>(controller_.get());
+    } else {
+      ftl_ = std::make_unique<HybridFtl>(controller_.get());
+    }
+  }
+
+  Status WriteSync(Lba lba, std::uint64_t token) {
+    sim::Completion done;
+    ftl_->Write(lba, token, done.AsCallback(simulator_.get()));
+    EXPECT_TRUE(sim::WaitFor(simulator_.get(), done))
+        << "write stalled, lba=" << lba;
+    return done.status();
+  }
+
+  StatusOr<std::uint64_t> ReadSync(Lba lba) {
+    StatusOr<std::uint64_t> out = Status::Internal("not run");
+    bool fired = false;
+    ftl_->Read(lba, [&](StatusOr<std::uint64_t> r) {
+      out = std::move(r);
+      fired = true;
+    });
+    EXPECT_TRUE(simulator_->RunUntilPredicate([&] { return fired; }));
+    return out;
+  }
+
+  Status TrimSync(Lba lba) {
+    sim::Completion done;
+    ftl_->Trim(lba, done.AsCallback(simulator_.get()));
+    EXPECT_TRUE(sim::WaitFor(simulator_.get(), done));
+    return done.status();
+  }
+
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<ssd::Controller> controller_;
+  std::unique_ptr<Ftl> ftl_;
+};
+
+TEST_P(LegacyFtlTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(WriteSync(5, 99).ok());
+  EXPECT_EQ(*ReadSync(5), 99u);
+}
+
+TEST_P(LegacyFtlTest, OverwriteReturnsNewest) {
+  ASSERT_TRUE(WriteSync(5, 1).ok());
+  ASSERT_TRUE(WriteSync(5, 2).ok());
+  EXPECT_EQ(*ReadSync(5), 2u);
+}
+
+TEST_P(LegacyFtlTest, UnwrittenReadsAsZero) {
+  EXPECT_EQ(*ReadSync(11), 0u);
+}
+
+TEST_P(LegacyFtlTest, TrimmedReadsAsZero) {
+  ASSERT_TRUE(WriteSync(7, 3).ok());
+  ASSERT_TRUE(TrimSync(7).ok());
+  EXPECT_EQ(*ReadSync(7), 0u);
+}
+
+TEST_P(LegacyFtlTest, OutOfRangeRejected) {
+  const Lba beyond = ftl_->user_pages();
+  EXPECT_TRUE(WriteSync(beyond, 1).IsOutOfRange());
+  EXPECT_TRUE(ReadSync(beyond).status().IsOutOfRange());
+  EXPECT_TRUE(TrimSync(beyond).IsOutOfRange());
+}
+
+TEST_P(LegacyFtlTest, SequentialFillAndVerify) {
+  // One full logical block region per LUN at least.
+  const Lba n = std::min<Lba>(ftl_->user_pages(), 512);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, lba + 1).ok()) << lba;
+  }
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_EQ(*ReadSync(lba), lba + 1) << lba;
+  }
+}
+
+TEST_P(LegacyFtlTest, RandomOverwriteChurnPreservesData) {
+  const Lba n = std::min<Lba>(ftl_->user_pages(), 256);
+  std::map<Lba, std::uint64_t> shadow;
+  Rng rng(21);
+  for (std::uint64_t i = 0; i < 4 * n; ++i) {
+    const Lba lba = rng.Uniform(n);
+    const std::uint64_t token = i + 1;
+    ASSERT_TRUE(WriteSync(lba, token).ok()) << i;
+    shadow[lba] = token;
+  }
+  for (const auto& [lba, token] : shadow) {
+    ASSERT_EQ(*ReadSync(lba), token) << "lba=" << lba;
+  }
+}
+
+TEST_P(LegacyFtlTest, SequentialWritesAreCheap) {
+  const Lba n = std::min<Lba>(ftl_->user_pages(), 512);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 1).ok());
+  }
+  // Sequential fill programs ~1 flash page per host page.
+  EXPECT_NEAR(ftl_->WriteAmplification(), 1.0, 0.1);
+}
+
+TEST_P(LegacyFtlTest, RandomOverwritesAreExpensive) {
+  // The Myth-2 mechanism: scattered overwrites cost far more flash
+  // programs than host pages written on block/hybrid mapping. The span
+  // must exceed the hybrid FTL's log pool coverage or logs absorb it.
+  const Lba n = std::min<Lba>(ftl_->user_pages(), 640);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 1).ok());
+  }
+  Rng rng(31);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(WriteSync(rng.Uniform(n), i + 2).ok());
+  }
+  EXPECT_GT(ftl_->WriteAmplification(), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, LegacyFtlTest,
+    ::testing::Values(ssd::FtlKind::kBlockMap, ssd::FtlKind::kHybrid),
+    [](const ::testing::TestParamInfo<ssd::FtlKind>& info) {
+      return info.param == ssd::FtlKind::kBlockMap ? "BlockMap" : "Hybrid";
+    });
+
+// --- BlockFtl specifics --------------------------------------------------
+
+class BlockFtlTest : public ::testing::Test {
+ protected:
+  BlockFtlTest()
+      : controller_(&sim_, SmallConfig(ssd::FtlKind::kBlockMap)),
+        ftl_(&controller_) {}
+
+  Status WriteSync(Lba lba, std::uint64_t token) {
+    sim::Completion done;
+    ftl_.Write(lba, token, done.AsCallback(&sim_));
+    EXPECT_TRUE(sim::WaitFor(&sim_, done));
+    return done.status();
+  }
+
+  sim::Simulator sim_;
+  ssd::Controller controller_;
+  BlockFtl ftl_;
+};
+
+TEST_F(BlockFtlTest, InOrderAppendsNeverMerge) {
+  for (Lba lba = 0; lba < 16; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 1).ok());
+  }
+  EXPECT_EQ(ftl_.counters().Get("merges"), 0u);
+  EXPECT_EQ(ftl_.counters().Get("direct_writes"), 16u);
+}
+
+TEST_F(BlockFtlTest, OverwriteTriggersMergeWithFullBlockCopy) {
+  const std::uint32_t ppb =
+      controller_.config().geometry.pages_per_block;
+  for (Lba lba = 0; lba < ppb; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, lba).ok());
+  }
+  ASSERT_TRUE(WriteSync(0, 999).ok());  // overwrite page 0
+  EXPECT_EQ(ftl_.counters().Get("merges"), 1u);
+  // All other live pages of the block were copied.
+  EXPECT_EQ(ftl_.counters().Get("merge_page_copies"), ppb - 1u);
+}
+
+TEST_F(BlockFtlTest, BackwardsWriteAlsoMerges) {
+  ASSERT_TRUE(WriteSync(5, 1).ok());  // write point now 6
+  ASSERT_TRUE(WriteSync(2, 2).ok());  // backwards: merge
+  EXPECT_EQ(ftl_.counters().Get("merges"), 1u);
+}
+
+// --- HybridFtl specifics -------------------------------------------------
+
+class HybridFtlTest : public ::testing::Test {
+ protected:
+  HybridFtlTest()
+      : controller_(&sim_, SmallConfig(ssd::FtlKind::kHybrid)),
+        ftl_(&controller_) {}
+
+  Status WriteSync(Lba lba, std::uint64_t token) {
+    sim::Completion done;
+    ftl_.Write(lba, token, done.AsCallback(&sim_));
+    EXPECT_TRUE(sim::WaitFor(&sim_, done));
+    return done.status();
+  }
+
+  sim::Simulator sim_;
+  ssd::Controller controller_;
+  HybridFtl ftl_;
+};
+
+TEST_F(HybridFtlTest, OverwritesAbsorbedByLogBlocks) {
+  const std::uint32_t ppb =
+      controller_.config().geometry.pages_per_block;
+  for (Lba lba = 0; lba < ppb; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, lba).ok());
+  }
+  // A handful of overwrites fit in the log block: no merge yet.
+  for (Lba lba = 0; lba < 4; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 100 + lba).ok());
+  }
+  EXPECT_EQ(ftl_.counters().Get("full_merges"), 0u);
+  EXPECT_EQ(ftl_.counters().Get("log_appends"), 4u);
+}
+
+TEST_F(HybridFtlTest, SequentialRewriteUsesSwitchMerge) {
+  const std::uint32_t ppb =
+      controller_.config().geometry.pages_per_block;
+  for (Lba lba = 0; lba < ppb; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 1).ok());
+  }
+  // Rewrite the whole logical block sequentially: the log fills 0..ppb-1
+  // in order and becomes the data block for free.
+  for (Lba lba = 0; lba < ppb; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 2).ok());
+  }
+  // Another pass forces the pending merge of the filled log.
+  ASSERT_TRUE(WriteSync(0, 3).ok());
+  EXPECT_GT(ftl_.counters().Get("switch_merges"), 0u);
+  EXPECT_EQ(ftl_.counters().Get("full_merges"), 0u);
+}
+
+TEST_F(HybridFtlTest, ScatteredOverwritesForceFullMerges) {
+  // Touch more vblocks per LUN than the log pool holds (pool = 4).
+  const std::uint32_t ppb =
+      controller_.config().geometry.pages_per_block;
+  const Lba n = std::min<Lba>(ftl_.user_pages(), 40 * ppb);
+  for (Lba lba = 0; lba < n; ++lba) {
+    ASSERT_TRUE(WriteSync(lba, 1).ok());
+  }
+  // Overwrite page 0 of every logical block: thrashes the log pool.
+  for (int round = 0; round < 4; ++round) {
+    for (Lba vb = 0; vb < n / ppb; ++vb) {
+      ASSERT_TRUE(WriteSync(vb * ppb, round).ok());
+    }
+  }
+  EXPECT_GT(ftl_.counters().Get("log_evictions"), 0u);
+  EXPECT_GT(ftl_.counters().Get("full_merges"), 0u);
+}
+
+}  // namespace
+}  // namespace postblock::ftl

@@ -1,0 +1,270 @@
+// PcmDevice + PcmLog + Hdd device-model tests.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pcm_log.h"
+#include "hdd/hdd.h"
+#include "pcm/pcm_device.h"
+#include "sim/simulator.h"
+
+namespace postblock {
+namespace {
+
+// --- PcmDevice -------------------------------------------------------------
+
+TEST(PcmDeviceTest, WriteThenReadRoundTrips) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  bool wrote = false;
+  dev.Write(100, payload, [&](Status st) {
+    ASSERT_TRUE(st.ok());
+    wrote = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(wrote);
+  std::vector<std::uint8_t> got;
+  dev.Read(100, 5, [&](StatusOr<std::vector<std::uint8_t>> r) {
+    ASSERT_TRUE(r.ok());
+    got = *r;
+  });
+  sim.Run();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(PcmDeviceTest, LatencyScalesWithLines) {
+  sim::Simulator sim;
+  pcm::PcmConfig cfg;
+  cfg.read_ns_per_line = 100;
+  cfg.write_ns_per_line = 500;
+  cfg.line_bytes = 64;
+  pcm::PcmDevice dev(&sim, cfg);
+  EXPECT_EQ(dev.ReadLatency(64), 100u);
+  EXPECT_EQ(dev.ReadLatency(65), 200u);
+  EXPECT_EQ(dev.WriteLatency(1), 500u);
+  EXPECT_EQ(dev.WriteLatency(256), 4 * 500u);
+}
+
+TEST(PcmDeviceTest, SmallSyncWritesAreSubMicrosecond) {
+  // The Section 3 claim: persistence via the memory bus costs orders of
+  // magnitude less than a block IO.
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  bool done = false;
+  dev.Write(0, std::vector<std::uint8_t>(64, 7), [&](Status) {
+    done = true;
+  });
+  sim.Run();
+  ASSERT_TRUE(done);
+  EXPECT_LE(sim.Now(), 1 * kMicrosecond);
+}
+
+TEST(PcmDeviceTest, OutOfRangeRejected) {
+  sim::Simulator sim;
+  pcm::PcmConfig cfg;
+  cfg.capacity_bytes = 1024;
+  pcm::PcmDevice dev(&sim, cfg);
+  Status seen;
+  dev.Write(1000, std::vector<std::uint8_t>(100, 0),
+            [&](Status st) { seen = st; });
+  sim.Run();
+  EXPECT_TRUE(seen.IsOutOfRange());
+  EXPECT_TRUE(dev.Peek(1000, 100).status().IsOutOfRange());
+}
+
+TEST(PcmDeviceTest, WearTracksLineWrites) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  for (int i = 0; i < 5; ++i) {
+    dev.Write(0, std::vector<std::uint8_t>(64, 1), [](Status) {});
+  }
+  sim.Run();
+  EXPECT_EQ(dev.MaxLineWear(), 5u);
+}
+
+TEST(PcmDeviceTest, BanksAllowConcurrentAccess) {
+  sim::Simulator sim;
+  pcm::PcmConfig cfg;
+  cfg.banks = 4;
+  pcm::PcmDevice dev(&sim, cfg);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    dev.Write(static_cast<std::uint64_t>(i) * 64,
+              std::vector<std::uint8_t>(64, 1), [&](Status) { ++done; });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(sim.Now(), 500u);  // all four in parallel
+}
+
+// --- PcmLog -----------------------------------------------------------------
+
+TEST(PcmLogTest, AppendRecoverRoundTrip) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  core::PcmLog log(&sim, &dev, 0, 64 * kKiB);
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    log.Append(std::vector<std::uint8_t>(i, i), [](StatusOr<core::Lsn> r) {
+      ASSERT_TRUE(r.ok());
+    });
+  }
+  sim.Run();
+  const auto records = log.RecoverAll();
+  ASSERT_EQ(records.size(), 5u);
+  for (std::uint8_t i = 1; i <= 5; ++i) {
+    EXPECT_EQ(records[i - 1].size(), i);
+    EXPECT_EQ(records[i - 1][0], i);
+  }
+}
+
+TEST(PcmLogTest, LsnsAreMonotonic) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  core::PcmLog log(&sim, &dev, 0, 64 * kKiB);
+  std::vector<core::Lsn> lsns;
+  for (int i = 0; i < 4; ++i) {
+    log.Append(std::vector<std::uint8_t>(16, 1),
+               [&](StatusOr<core::Lsn> r) {
+                 ASSERT_TRUE(r.ok());
+                 lsns.push_back(*r);
+               });
+  }
+  sim.Run();
+  ASSERT_EQ(lsns.size(), 4u);
+  for (std::size_t i = 1; i < lsns.size(); ++i) {
+    EXPECT_GT(lsns[i], lsns[i - 1]);
+  }
+}
+
+TEST(PcmLogTest, TruncateEmptiesLog) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  core::PcmLog log(&sim, &dev, 0, 64 * kKiB);
+  log.Append({1, 2, 3}, [](StatusOr<core::Lsn>) {});
+  sim.Run();
+  log.Truncate([](Status st) { ASSERT_TRUE(st.ok()); });
+  sim.Run();
+  EXPECT_EQ(log.head(), 0u);
+  EXPECT_TRUE(log.RecoverAll().empty());
+}
+
+TEST(PcmLogTest, FullRegionRejectsAppends) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  core::PcmLog log(&sim, &dev, 0, 64);  // tiny region
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    log.Append(std::vector<std::uint8_t>(16, 1),
+               [&](StatusOr<core::Lsn> r) {
+                 rejected += r.status().IsResourceExhausted();
+               });
+  }
+  sim.Run();
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(log.counters().Get("append_full"), 2u);
+}
+
+TEST(PcmLogTest, AppendLatencyIsTensOfNanoseconds) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  core::PcmLog log(&sim, &dev, 0, 64 * kKiB);
+  log.Append(std::vector<std::uint8_t>(48, 1),
+             [](StatusOr<core::Lsn>) {});
+  sim.Run();
+  EXPECT_LT(log.append_latency().max(), 2 * kMicrosecond);
+}
+
+TEST(PcmLogTest, RegionOffsetIsolatesLogs) {
+  sim::Simulator sim;
+  pcm::PcmDevice dev(&sim, pcm::PcmConfig{});
+  core::PcmLog a(&sim, &dev, 0, 4 * kKiB);
+  core::PcmLog b(&sim, &dev, 4 * kKiB, 4 * kKiB);
+  a.Append({1}, [](StatusOr<core::Lsn>) {});
+  b.Append({2}, [](StatusOr<core::Lsn>) {});
+  sim.Run();
+  ASSERT_EQ(a.RecoverAll().size(), 1u);
+  ASSERT_EQ(b.RecoverAll().size(), 1u);
+  EXPECT_EQ(a.RecoverAll()[0][0], 1);
+  EXPECT_EQ(b.RecoverAll()[0][0], 2);
+}
+
+// --- Hdd ---------------------------------------------------------------------
+
+blocklayer::IoResult RunHdd(sim::Simulator* sim, hdd::Hdd* dev,
+                            blocklayer::IoRequest req) {
+  blocklayer::IoResult out;
+  bool fired = false;
+  req.on_complete = [&](const blocklayer::IoResult& r) {
+    out = r;
+    fired = true;
+  };
+  dev->Submit(std::move(req));
+  EXPECT_TRUE(sim->RunUntilPredicate([&] { return fired; }));
+  return out;
+}
+
+TEST(HddTest, RoundTrip) {
+  sim::Simulator sim;
+  hdd::Hdd dev(&sim, hdd::HddConfig{});
+  blocklayer::IoRequest w;
+  w.op = blocklayer::IoOp::kWrite;
+  w.lba = 100;
+  w.nblocks = 2;
+  w.tokens = {4, 5};
+  ASSERT_TRUE(RunHdd(&sim, &dev, std::move(w)).status.ok());
+  blocklayer::IoRequest r;
+  r.op = blocklayer::IoOp::kRead;
+  r.lba = 100;
+  r.nblocks = 2;
+  EXPECT_EQ(RunHdd(&sim, &dev, std::move(r)).tokens,
+            (std::vector<std::uint64_t>{4, 5}));
+}
+
+TEST(HddTest, StreamingSkipsSeekAndRotation) {
+  sim::Simulator sim;
+  hdd::Hdd dev(&sim, hdd::HddConfig{});
+  // After an IO ending at lba X, an IO starting at X is pure transfer.
+  EXPECT_LT(dev.ServiceTime(0, 1), 100 * kMicrosecond);
+  // Far-away random access costs seek + rotation: milliseconds.
+  EXPECT_GT(dev.ServiceTime(dev.num_blocks() / 2, 1), 4 * kMillisecond);
+}
+
+TEST(HddTest, RandomIsOrdersOfMagnitudeSlowerThanSequential) {
+  sim::Simulator sim;
+  hdd::Hdd dev(&sim, hdd::HddConfig{});
+  const SimTime far = dev.ServiceTime(dev.num_blocks() - 1, 1);
+  const SimTime near = dev.ServiceTime(0, 1);
+  EXPECT_GT(far, 50 * near);
+}
+
+TEST(HddTest, SingleActuatorSerializes) {
+  sim::Simulator sim;
+  hdd::Hdd dev(&sim, hdd::HddConfig{});
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    blocklayer::IoRequest r;
+    r.op = blocklayer::IoOp::kRead;
+    r.lba = static_cast<Lba>(i * 1000000);
+    r.nblocks = 1;
+    r.on_complete = [&](const blocklayer::IoResult&) { ++done; };
+    dev.Submit(std::move(r));
+  }
+  sim.Run();
+  EXPECT_EQ(done, 4);
+  EXPECT_GT(sim.Now(), 4 * 4 * kMillisecond);  // 4 seeks + rotations
+}
+
+TEST(HddTest, TrimIsNoOp) {
+  sim::Simulator sim;
+  hdd::Hdd dev(&sim, hdd::HddConfig{});
+  blocklayer::IoRequest t;
+  t.op = blocklayer::IoOp::kTrim;
+  t.lba = 0;
+  t.nblocks = 1;
+  EXPECT_TRUE(RunHdd(&sim, &dev, std::move(t)).status.ok());
+}
+
+}  // namespace
+}  // namespace postblock

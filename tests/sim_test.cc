@@ -1,0 +1,235 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/completion.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace postblock::sim {
+namespace {
+
+// --- EventQueue --------------------------------------------------------
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&] { order.push_back(3); });
+  q.Push(10, [&] { order.push_back(1); });
+  q.Push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Push(42, [] {});
+  q.Push(7, [] {});
+  EXPECT_EQ(q.NextTime(), 7u);
+}
+
+// --- Simulator ---------------------------------------------------------
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.Schedule(100, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(sim.Now(), 100u);
+}
+
+TEST(SimulatorTest, NestedSchedulingUsesCurrentTime) {
+  Simulator sim;
+  SimTime inner_time = 0;
+  sim.Schedule(50, [&] {
+    sim.Schedule(25, [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, 75u);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilPredicateStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(static_cast<SimTime>(i * 10), [&] { ++fired; });
+  }
+  const bool satisfied =
+      sim.RunUntilPredicate([&] { return fired == 3; });
+  EXPECT_TRUE(satisfied);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulatorTest, RunUntilPredicateFalseWhenQueueDrains) {
+  Simulator sim;
+  sim.Schedule(10, [] {});
+  EXPECT_FALSE(sim.RunUntilPredicate([] { return false; }));
+}
+
+TEST(SimulatorTest, ScheduleAtClampsPastTimes) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.Run();
+  SimTime seen = 0;
+  sim.ScheduleAt(10, [&] { seen = sim.Now(); });  // in the past
+  sim.Run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(1, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+// --- Resource ----------------------------------------------------------
+
+TEST(ResourceTest, GrantsImmediatelyWhenFree) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  bool granted = false;
+  r.Acquire([&] { granted = true; });
+  EXPECT_TRUE(granted);  // synchronous grant
+  EXPECT_EQ(r.in_use(), 1);
+}
+
+TEST(ResourceTest, QueuesWhenBusyAndGrantsFcfs) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  std::vector<int> order;
+  r.Acquire([&] { order.push_back(0); });
+  r.Acquire([&] { order.push_back(1); });
+  r.Acquire([&] { order.push_back(2); });
+  EXPECT_EQ(r.queue_length(), 2u);
+  r.Release();
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  r.Release();
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ResourceTest, CapacityAllowsConcurrency) {
+  Simulator sim;
+  Resource r(&sim, "r", 3);
+  int granted = 0;
+  for (int i = 0; i < 5; ++i) r.Acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(r.queue_length(), 2u);
+}
+
+TEST(ResourceTest, UseForSerializesDurations) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  std::vector<SimTime> done_at;
+  for (int i = 0; i < 3; ++i) {
+    r.UseFor(100, [&] { done_at.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(done_at.size(), 3u);
+  EXPECT_EQ(done_at[0], 100u);
+  EXPECT_EQ(done_at[1], 200u);
+  EXPECT_EQ(done_at[2], 300u);
+}
+
+TEST(ResourceTest, UtilizationTracksBusyFraction) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  r.UseFor(100, [] {});
+  sim.Run();
+  // Busy 100ns out of 100ns elapsed.
+  EXPECT_NEAR(r.Utilization(), 1.0, 1e-9);
+  sim.Schedule(100, [] {});
+  sim.Run();
+  EXPECT_NEAR(r.Utilization(), 0.5, 1e-9);
+}
+
+TEST(ResourceTest, WaitHistogramRecordsQueueing) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  r.UseFor(100, [] {});
+  r.UseFor(100, [] {});
+  sim.Run();
+  EXPECT_EQ(r.wait_hist().count(), 2u);
+  EXPECT_EQ(r.wait_hist().max(), 100u);
+}
+
+TEST(ResourceTest, LongGrantChainsDoNotOverflowStack) {
+  Simulator sim;
+  Resource r(&sim, "r");
+  int done = 0;
+  for (int i = 0; i < 100000; ++i) {
+    r.UseFor(1, [&] { ++done; });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 100000);
+}
+
+// --- Completion --------------------------------------------------------
+
+TEST(CompletionTest, WaitForRunsUntilDone) {
+  Simulator sim;
+  Completion c;
+  sim.Schedule(500, [&] { c.Complete(&sim, Status::Ok()); });
+  EXPECT_TRUE(WaitFor(&sim, c));
+  EXPECT_TRUE(c.done());
+  EXPECT_TRUE(c.status().ok());
+  EXPECT_EQ(c.completed_at(), 500u);
+}
+
+TEST(CompletionTest, WaitForFailsIfNeverCompleted) {
+  Simulator sim;
+  Completion c;
+  sim.Schedule(10, [] {});
+  EXPECT_FALSE(WaitFor(&sim, c));
+}
+
+TEST(CompletionTest, AsCallbackCarriesStatus) {
+  Simulator sim;
+  Completion c;
+  auto cb = c.AsCallback(&sim);
+  sim.Schedule(5, [cb] { cb(Status::DataLoss("x")); });
+  EXPECT_TRUE(WaitFor(&sim, c));
+  EXPECT_TRUE(c.status().IsDataLoss());
+}
+
+TEST(CountdownLatchTest, CountsDownToZero) {
+  Simulator sim;
+  CountdownLatch latch(3);
+  auto cb = latch.AsCallback();
+  for (int i = 0; i < 3; ++i) {
+    sim.Schedule(static_cast<SimTime>(i), [cb] { cb(Status::Ok()); });
+  }
+  EXPECT_TRUE(WaitFor(&sim, latch));
+  EXPECT_TRUE(latch.done());
+}
+
+}  // namespace
+}  // namespace postblock::sim

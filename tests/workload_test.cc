@@ -1,0 +1,146 @@
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "blocklayer/simple_device.h"
+#include "sim/simulator.h"
+#include "workload/db_trace.h"
+#include "workload/patterns.h"
+#include "workload/zipf.h"
+
+namespace postblock::workload {
+namespace {
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfGenerator z(100, 0.0);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[z.Next()]++;
+  // Rough uniformity: most frequent < 2x least frequent bucket of 10.
+  EXPECT_GT(counts.size(), 95u);
+}
+
+TEST(ZipfTest, SkewedWhenThetaHigh) {
+  ZipfGenerator z(1000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[z.Next()]++;
+  // Rank 0 dominates.
+  EXPECT_GT(counts[0], 100000 / 50);
+  EXPECT_GT(counts[0], counts[500] * 10);
+}
+
+TEST(ZipfTest, ValuesWithinRange) {
+  ZipfGenerator z(37, 0.8);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(), 37u);
+}
+
+TEST(PatternTest, SequentialWrapsAround) {
+  SequentialPattern p(10, 4, /*is_write=*/false);
+  EXPECT_EQ(p.Next().lba, 10u);
+  EXPECT_EQ(p.Next().lba, 11u);
+  EXPECT_EQ(p.Next().lba, 12u);
+  EXPECT_EQ(p.Next().lba, 13u);
+  EXPECT_EQ(p.Next().lba, 10u);  // wrapped
+}
+
+TEST(PatternTest, RandomStaysInRange) {
+  RandomPattern p(100, 50, /*is_write=*/true);
+  for (int i = 0; i < 1000; ++i) {
+    const IoDesc d = p.Next();
+    EXPECT_TRUE(d.is_write);
+    EXPECT_GE(d.lba, 100u);
+    EXPECT_LT(d.lba, 150u);
+  }
+}
+
+TEST(PatternTest, RandomMultiBlockAligned) {
+  RandomPattern p(0, 64, /*is_write=*/true, /*nblocks=*/8);
+  for (int i = 0; i < 100; ++i) {
+    const IoDesc d = p.Next();
+    EXPECT_EQ(d.lba % 8, 0u);
+    EXPECT_LE(d.lba + d.nblocks, 64u);
+  }
+}
+
+TEST(PatternTest, StrideSteps) {
+  StridedPattern p(0, 100, 10, false);
+  EXPECT_EQ(p.Next().lba, 0u);
+  EXPECT_EQ(p.Next().lba, 10u);
+  EXPECT_EQ(p.Next().lba, 20u);
+}
+
+TEST(PatternTest, MixedRespectsWriteFraction) {
+  auto reads = std::make_unique<RandomPattern>(0, 100, false);
+  auto writes = std::make_unique<RandomPattern>(0, 100, true);
+  MixedPattern p(std::move(reads), std::move(writes), 0.25);
+  int w = 0;
+  for (int i = 0; i < 10000; ++i) w += p.Next().is_write;
+  EXPECT_NEAR(w / 10000.0, 0.25, 0.03);
+}
+
+TEST(RunClosedLoopTest, CompletesAllOpsAndMeasures) {
+  sim::Simulator sim;
+  blocklayer::SimpleDeviceConfig cfg;
+  cfg.num_blocks = 1024;
+  blocklayer::SimpleBlockDevice dev(&sim, cfg);
+  SequentialPattern pattern(0, 512, /*is_write=*/true);
+  const RunResult r = RunClosedLoop(&sim, &dev, &pattern, 200, 4);
+  EXPECT_EQ(r.ops, 200u);
+  EXPECT_EQ(r.blocks, 200u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.elapsed_ns, 0u);
+  EXPECT_GT(r.Iops(), 0.0);
+  EXPECT_EQ(r.latency.count(), 200u);
+}
+
+TEST(RunClosedLoopTest, HigherQueueDepthRaisesThroughputOnParallelDevice) {
+  blocklayer::SimpleDeviceConfig cfg;
+  cfg.num_blocks = 4096;
+  cfg.units = 8;
+  auto iops = [&](std::uint32_t qd) {
+    sim::Simulator sim;
+    blocklayer::SimpleBlockDevice dev(&sim, cfg);
+    RandomPattern pattern(0, 4096, false);
+    return RunClosedLoop(&sim, &dev, &pattern, 2000, qd).Iops();
+  };
+  EXPECT_GT(iops(8), iops(1) * 3);
+}
+
+TEST(DbTraceTest, MixMatchesConfig) {
+  DbTraceConfig cfg;
+  cfg.put_fraction = 0.4;
+  cfg.delete_fraction = 0.1;
+  DbTrace trace(cfg);
+  int puts = 0, dels = 0, gets = 0;
+  for (int i = 0; i < 20000; ++i) {
+    switch (trace.Next().kind) {
+      case KvOp::Kind::kPut:
+        ++puts;
+        break;
+      case KvOp::Kind::kDelete:
+        ++dels;
+        break;
+      case KvOp::Kind::kGet:
+        ++gets;
+        break;
+    }
+  }
+  EXPECT_NEAR(puts / 20000.0, 0.4, 0.03);
+  EXPECT_NEAR(dels / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(gets / 20000.0, 0.5, 0.03);
+}
+
+TEST(DbTraceTest, KeysWithinSpace) {
+  DbTraceConfig cfg;
+  cfg.key_space = 100;
+  DbTrace trace(cfg);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(trace.Next().key, 100u);
+}
+
+TEST(DbTraceTest, TakeBatches) {
+  DbTrace trace(DbTraceConfig{});
+  EXPECT_EQ(trace.Take(57).size(), 57u);
+}
+
+}  // namespace
+}  // namespace postblock::workload
