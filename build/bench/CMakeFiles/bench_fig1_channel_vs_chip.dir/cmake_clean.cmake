@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_channel_vs_chip.dir/bench_fig1_channel_vs_chip.cc.o"
+  "CMakeFiles/bench_fig1_channel_vs_chip.dir/bench_fig1_channel_vs_chip.cc.o.d"
+  "bench_fig1_channel_vs_chip"
+  "bench_fig1_channel_vs_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_channel_vs_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intro_hdd_vs_ssd.dir/bench_intro_hdd_vs_ssd.cc.o"
+  "CMakeFiles/bench_intro_hdd_vs_ssd.dir/bench_intro_hdd_vs_ssd.cc.o.d"
+  "bench_intro_hdd_vs_ssd"
+  "bench_intro_hdd_vs_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intro_hdd_vs_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

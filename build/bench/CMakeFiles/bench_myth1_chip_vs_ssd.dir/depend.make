@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_myth1_chip_vs_ssd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_myth2_rand_vs_seq.dir/bench_myth2_rand_vs_seq.cc.o"
+  "CMakeFiles/bench_myth2_rand_vs_seq.dir/bench_myth2_rand_vs_seq.cc.o.d"
+  "bench_myth2_rand_vs_seq"
+  "bench_myth2_rand_vs_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_myth2_rand_vs_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

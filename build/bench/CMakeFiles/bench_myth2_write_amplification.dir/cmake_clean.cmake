@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_myth2_write_amplification.dir/bench_myth2_write_amplification.cc.o"
+  "CMakeFiles/bench_myth2_write_amplification.dir/bench_myth2_write_amplification.cc.o.d"
+  "bench_myth2_write_amplification"
+  "bench_myth2_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_myth2_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

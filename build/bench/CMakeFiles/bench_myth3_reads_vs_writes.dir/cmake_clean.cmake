@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_myth3_reads_vs_writes.dir/bench_myth3_reads_vs_writes.cc.o"
+  "CMakeFiles/bench_myth3_reads_vs_writes.dir/bench_myth3_reads_vs_writes.cc.o.d"
+  "bench_myth3_reads_vs_writes"
+  "bench_myth3_reads_vs_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_myth3_reads_vs_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

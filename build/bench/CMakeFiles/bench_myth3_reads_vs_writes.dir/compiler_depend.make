@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_myth3_reads_vs_writes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcm_discussion.dir/bench_pcm_discussion.cc.o"
+  "CMakeFiles/bench_pcm_discussion.dir/bench_pcm_discussion.cc.o.d"
+  "bench_pcm_discussion"
+  "bench_pcm_discussion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcm_discussion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

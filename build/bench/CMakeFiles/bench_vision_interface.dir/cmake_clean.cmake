@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vision_interface.dir/bench_vision_interface.cc.o"
+  "CMakeFiles/bench_vision_interface.dir/bench_vision_interface.cc.o.d"
+  "bench_vision_interface"
+  "bench_vision_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vision_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vision_stack_overhead.dir/bench_vision_stack_overhead.cc.o"
+  "CMakeFiles/bench_vision_stack_overhead.dir/bench_vision_stack_overhead.cc.o.d"
+  "bench_vision_stack_overhead"
+  "bench_vision_stack_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vision_stack_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

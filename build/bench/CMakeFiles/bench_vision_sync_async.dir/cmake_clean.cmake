@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vision_sync_async.dir/bench_vision_sync_async.cc.o"
+  "CMakeFiles/bench_vision_sync_async.dir/bench_vision_sync_async.cc.o.d"
+  "bench_vision_sync_async"
+  "bench_vision_sync_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vision_sync_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

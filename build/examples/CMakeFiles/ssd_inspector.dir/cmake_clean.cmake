@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_inspector.dir/ssd_inspector.cpp.o"
+  "CMakeFiles/ssd_inspector.dir/ssd_inspector.cpp.o.d"
+  "ssd_inspector"
+  "ssd_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

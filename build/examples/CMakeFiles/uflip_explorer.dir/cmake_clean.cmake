@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uflip_explorer.dir/uflip_explorer.cpp.o"
+  "CMakeFiles/uflip_explorer.dir/uflip_explorer.cpp.o.d"
+  "uflip_explorer"
+  "uflip_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uflip_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocklayer/block_layer.cc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/block_layer.cc.o" "gcc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/block_layer.cc.o.d"
+  "/root/repo/src/blocklayer/direct_driver.cc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/direct_driver.cc.o" "gcc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/direct_driver.cc.o.d"
+  "/root/repo/src/blocklayer/io_scheduler.cc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/io_scheduler.cc.o" "gcc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/io_scheduler.cc.o.d"
+  "/root/repo/src/blocklayer/simple_device.cc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/simple_device.cc.o" "gcc" "src/CMakeFiles/pb_blocklayer.dir/blocklayer/simple_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/block_layer.cc.o"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/block_layer.cc.o.d"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/direct_driver.cc.o"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/direct_driver.cc.o.d"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/io_scheduler.cc.o"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/io_scheduler.cc.o.d"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/simple_device.cc.o"
+  "CMakeFiles/pb_blocklayer.dir/blocklayer/simple_device.cc.o.d"
+  "libpb_blocklayer.a"
+  "libpb_blocklayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_blocklayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_common.dir/common/histogram.cc.o"
+  "CMakeFiles/pb_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/pb_common.dir/common/rng.cc.o"
+  "CMakeFiles/pb_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/pb_common.dir/common/stats.cc.o"
+  "CMakeFiles/pb_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/pb_common.dir/common/table.cc.o"
+  "CMakeFiles/pb_common.dir/common/table.cc.o.d"
+  "libpb_common.a"
+  "libpb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atomic_write.cc" "src/CMakeFiles/pb_core.dir/core/atomic_write.cc.o" "gcc" "src/CMakeFiles/pb_core.dir/core/atomic_write.cc.o.d"
+  "/root/repo/src/core/hybrid_store.cc" "src/CMakeFiles/pb_core.dir/core/hybrid_store.cc.o" "gcc" "src/CMakeFiles/pb_core.dir/core/hybrid_store.cc.o.d"
+  "/root/repo/src/core/nameless.cc" "src/CMakeFiles/pb_core.dir/core/nameless.cc.o" "gcc" "src/CMakeFiles/pb_core.dir/core/nameless.cc.o.d"
+  "/root/repo/src/core/pcm_log.cc" "src/CMakeFiles/pb_core.dir/core/pcm_log.cc.o" "gcc" "src/CMakeFiles/pb_core.dir/core/pcm_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_blocklayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_core.dir/core/atomic_write.cc.o"
+  "CMakeFiles/pb_core.dir/core/atomic_write.cc.o.d"
+  "CMakeFiles/pb_core.dir/core/hybrid_store.cc.o"
+  "CMakeFiles/pb_core.dir/core/hybrid_store.cc.o.d"
+  "CMakeFiles/pb_core.dir/core/nameless.cc.o"
+  "CMakeFiles/pb_core.dir/core/nameless.cc.o.d"
+  "CMakeFiles/pb_core.dir/core/pcm_log.cc.o"
+  "CMakeFiles/pb_core.dir/core/pcm_log.cc.o.d"
+  "libpb_core.a"
+  "libpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cc" "src/CMakeFiles/pb_db.dir/db/btree.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/btree.cc.o.d"
+  "/root/repo/src/db/buffer_pool.cc" "src/CMakeFiles/pb_db.dir/db/buffer_pool.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/buffer_pool.cc.o.d"
+  "/root/repo/src/db/heap_file.cc" "src/CMakeFiles/pb_db.dir/db/heap_file.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/heap_file.cc.o.d"
+  "/root/repo/src/db/log_store.cc" "src/CMakeFiles/pb_db.dir/db/log_store.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/log_store.cc.o.d"
+  "/root/repo/src/db/recovery.cc" "src/CMakeFiles/pb_db.dir/db/recovery.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/recovery.cc.o.d"
+  "/root/repo/src/db/storage_manager.cc" "src/CMakeFiles/pb_db.dir/db/storage_manager.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/storage_manager.cc.o.d"
+  "/root/repo/src/db/wal.cc" "src/CMakeFiles/pb_db.dir/db/wal.cc.o" "gcc" "src/CMakeFiles/pb_db.dir/db/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_pcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_blocklayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

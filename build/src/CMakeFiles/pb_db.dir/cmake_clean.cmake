@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_db.dir/db/btree.cc.o"
+  "CMakeFiles/pb_db.dir/db/btree.cc.o.d"
+  "CMakeFiles/pb_db.dir/db/buffer_pool.cc.o"
+  "CMakeFiles/pb_db.dir/db/buffer_pool.cc.o.d"
+  "CMakeFiles/pb_db.dir/db/heap_file.cc.o"
+  "CMakeFiles/pb_db.dir/db/heap_file.cc.o.d"
+  "CMakeFiles/pb_db.dir/db/log_store.cc.o"
+  "CMakeFiles/pb_db.dir/db/log_store.cc.o.d"
+  "CMakeFiles/pb_db.dir/db/recovery.cc.o"
+  "CMakeFiles/pb_db.dir/db/recovery.cc.o.d"
+  "CMakeFiles/pb_db.dir/db/storage_manager.cc.o"
+  "CMakeFiles/pb_db.dir/db/storage_manager.cc.o.d"
+  "CMakeFiles/pb_db.dir/db/wal.cc.o"
+  "CMakeFiles/pb_db.dir/db/wal.cc.o.d"
+  "libpb_db.a"
+  "libpb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

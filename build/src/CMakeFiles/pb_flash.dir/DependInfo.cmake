@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/address.cc" "src/CMakeFiles/pb_flash.dir/flash/address.cc.o" "gcc" "src/CMakeFiles/pb_flash.dir/flash/address.cc.o.d"
+  "/root/repo/src/flash/chip.cc" "src/CMakeFiles/pb_flash.dir/flash/chip.cc.o" "gcc" "src/CMakeFiles/pb_flash.dir/flash/chip.cc.o.d"
+  "/root/repo/src/flash/error_model.cc" "src/CMakeFiles/pb_flash.dir/flash/error_model.cc.o" "gcc" "src/CMakeFiles/pb_flash.dir/flash/error_model.cc.o.d"
+  "/root/repo/src/flash/page_store.cc" "src/CMakeFiles/pb_flash.dir/flash/page_store.cc.o" "gcc" "src/CMakeFiles/pb_flash.dir/flash/page_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

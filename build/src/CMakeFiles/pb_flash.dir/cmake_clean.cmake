@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_flash.dir/flash/address.cc.o"
+  "CMakeFiles/pb_flash.dir/flash/address.cc.o.d"
+  "CMakeFiles/pb_flash.dir/flash/chip.cc.o"
+  "CMakeFiles/pb_flash.dir/flash/chip.cc.o.d"
+  "CMakeFiles/pb_flash.dir/flash/error_model.cc.o"
+  "CMakeFiles/pb_flash.dir/flash/error_model.cc.o.d"
+  "CMakeFiles/pb_flash.dir/flash/page_store.cc.o"
+  "CMakeFiles/pb_flash.dir/flash/page_store.cc.o.d"
+  "libpb_flash.a"
+  "libpb_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

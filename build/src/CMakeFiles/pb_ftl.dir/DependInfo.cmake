@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/block_ftl.cc" "src/CMakeFiles/pb_ftl.dir/ftl/block_ftl.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/block_ftl.cc.o.d"
+  "/root/repo/src/ftl/dftl.cc" "src/CMakeFiles/pb_ftl.dir/ftl/dftl.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/dftl.cc.o.d"
+  "/root/repo/src/ftl/gc_policy.cc" "src/CMakeFiles/pb_ftl.dir/ftl/gc_policy.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/gc_policy.cc.o.d"
+  "/root/repo/src/ftl/hybrid_ftl.cc" "src/CMakeFiles/pb_ftl.dir/ftl/hybrid_ftl.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/hybrid_ftl.cc.o.d"
+  "/root/repo/src/ftl/page_ftl.cc" "src/CMakeFiles/pb_ftl.dir/ftl/page_ftl.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/page_ftl.cc.o.d"
+  "/root/repo/src/ftl/placement.cc" "src/CMakeFiles/pb_ftl.dir/ftl/placement.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/placement.cc.o.d"
+  "/root/repo/src/ftl/wear_leveler.cc" "src/CMakeFiles/pb_ftl.dir/ftl/wear_leveler.cc.o" "gcc" "src/CMakeFiles/pb_ftl.dir/ftl/wear_leveler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

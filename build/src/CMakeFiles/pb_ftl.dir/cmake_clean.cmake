@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_ftl.dir/ftl/block_ftl.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/block_ftl.cc.o.d"
+  "CMakeFiles/pb_ftl.dir/ftl/dftl.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/dftl.cc.o.d"
+  "CMakeFiles/pb_ftl.dir/ftl/gc_policy.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/gc_policy.cc.o.d"
+  "CMakeFiles/pb_ftl.dir/ftl/hybrid_ftl.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/hybrid_ftl.cc.o.d"
+  "CMakeFiles/pb_ftl.dir/ftl/page_ftl.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/page_ftl.cc.o.d"
+  "CMakeFiles/pb_ftl.dir/ftl/placement.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/placement.cc.o.d"
+  "CMakeFiles/pb_ftl.dir/ftl/wear_leveler.cc.o"
+  "CMakeFiles/pb_ftl.dir/ftl/wear_leveler.cc.o.d"
+  "libpb_ftl.a"
+  "libpb_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_hdd.dir/hdd/hdd.cc.o"
+  "CMakeFiles/pb_hdd.dir/hdd/hdd.cc.o.d"
+  "libpb_hdd.a"
+  "libpb_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

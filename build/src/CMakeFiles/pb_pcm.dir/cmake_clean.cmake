@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_pcm.dir/pcm/pcm_device.cc.o"
+  "CMakeFiles/pb_pcm.dir/pcm/pcm_device.cc.o.d"
+  "libpb_pcm.a"
+  "libpb_pcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_pcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

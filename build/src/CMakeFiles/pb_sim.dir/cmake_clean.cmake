@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_sim.dir/sim/completion.cc.o"
+  "CMakeFiles/pb_sim.dir/sim/completion.cc.o.d"
+  "CMakeFiles/pb_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/pb_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/pb_sim.dir/sim/resource.cc.o"
+  "CMakeFiles/pb_sim.dir/sim/resource.cc.o.d"
+  "CMakeFiles/pb_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/pb_sim.dir/sim/simulator.cc.o.d"
+  "libpb_sim.a"
+  "libpb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

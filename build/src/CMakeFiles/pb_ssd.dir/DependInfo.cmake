@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/channel.cc" "src/CMakeFiles/pb_ssd.dir/ssd/channel.cc.o" "gcc" "src/CMakeFiles/pb_ssd.dir/ssd/channel.cc.o.d"
+  "/root/repo/src/ssd/config.cc" "src/CMakeFiles/pb_ssd.dir/ssd/config.cc.o" "gcc" "src/CMakeFiles/pb_ssd.dir/ssd/config.cc.o.d"
+  "/root/repo/src/ssd/controller.cc" "src/CMakeFiles/pb_ssd.dir/ssd/controller.cc.o" "gcc" "src/CMakeFiles/pb_ssd.dir/ssd/controller.cc.o.d"
+  "/root/repo/src/ssd/device.cc" "src/CMakeFiles/pb_ssd.dir/ssd/device.cc.o" "gcc" "src/CMakeFiles/pb_ssd.dir/ssd/device.cc.o.d"
+  "/root/repo/src/ssd/write_buffer.cc" "src/CMakeFiles/pb_ssd.dir/ssd/write_buffer.cc.o" "gcc" "src/CMakeFiles/pb_ssd.dir/ssd/write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

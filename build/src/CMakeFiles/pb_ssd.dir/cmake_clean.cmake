@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_ssd.dir/ssd/channel.cc.o"
+  "CMakeFiles/pb_ssd.dir/ssd/channel.cc.o.d"
+  "CMakeFiles/pb_ssd.dir/ssd/config.cc.o"
+  "CMakeFiles/pb_ssd.dir/ssd/config.cc.o.d"
+  "CMakeFiles/pb_ssd.dir/ssd/controller.cc.o"
+  "CMakeFiles/pb_ssd.dir/ssd/controller.cc.o.d"
+  "CMakeFiles/pb_ssd.dir/ssd/device.cc.o"
+  "CMakeFiles/pb_ssd.dir/ssd/device.cc.o.d"
+  "CMakeFiles/pb_ssd.dir/ssd/write_buffer.cc.o"
+  "CMakeFiles/pb_ssd.dir/ssd/write_buffer.cc.o.d"
+  "libpb_ssd.a"
+  "libpb_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

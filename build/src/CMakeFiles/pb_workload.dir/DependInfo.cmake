@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/db_trace.cc" "src/CMakeFiles/pb_workload.dir/workload/db_trace.cc.o" "gcc" "src/CMakeFiles/pb_workload.dir/workload/db_trace.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/CMakeFiles/pb_workload.dir/workload/patterns.cc.o" "gcc" "src/CMakeFiles/pb_workload.dir/workload/patterns.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/pb_workload.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/pb_workload.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

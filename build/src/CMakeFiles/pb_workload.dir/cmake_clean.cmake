@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_workload.dir/workload/db_trace.cc.o"
+  "CMakeFiles/pb_workload.dir/workload/db_trace.cc.o.d"
+  "CMakeFiles/pb_workload.dir/workload/patterns.cc.o"
+  "CMakeFiles/pb_workload.dir/workload/patterns.cc.o.d"
+  "CMakeFiles/pb_workload.dir/workload/zipf.cc.o"
+  "CMakeFiles/pb_workload.dir/workload/zipf.cc.o.d"
+  "libpb_workload.a"
+  "libpb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

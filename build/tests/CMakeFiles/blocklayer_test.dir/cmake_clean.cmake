@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocklayer_test.dir/blocklayer_test.cc.o"
+  "CMakeFiles/blocklayer_test.dir/blocklayer_test.cc.o.d"
+  "blocklayer_test"
+  "blocklayer_test.pdb"
+  "blocklayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocklayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

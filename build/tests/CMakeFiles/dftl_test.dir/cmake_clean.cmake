@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dftl_test.dir/dftl_test.cc.o"
+  "CMakeFiles/dftl_test.dir/dftl_test.cc.o.d"
+  "dftl_test"
+  "dftl_test.pdb"
+  "dftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

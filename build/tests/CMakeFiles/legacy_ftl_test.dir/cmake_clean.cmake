@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_ftl_test.dir/legacy_ftl_test.cc.o"
+  "CMakeFiles/legacy_ftl_test.dir/legacy_ftl_test.cc.o.d"
+  "legacy_ftl_test"
+  "legacy_ftl_test.pdb"
+  "legacy_ftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_ftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_ftl_test.dir/page_ftl_test.cc.o"
+  "CMakeFiles/page_ftl_test.dir/page_ftl_test.cc.o.d"
+  "page_ftl_test"
+  "page_ftl_test.pdb"
+  "page_ftl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_ftl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_manager_test.dir/storage_manager_test.cc.o"
+  "CMakeFiles/storage_manager_test.dir/storage_manager_test.cc.o.d"
+  "storage_manager_test"
+  "storage_manager_test.pdb"
+  "storage_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
