@@ -1,0 +1,330 @@
+// Event-core microbenchmark: measures the simulator's discrete-event
+// engine itself — events/sec and heap allocations/event — for the
+// timing-wheel + InplaceCallback core (sim::Simulator) against the
+// original binary-heap + std::function core (kept verbatim as
+// sim::ReferenceEventQueue and re-wrapped here as RefSimulator).
+//
+// Workloads:
+//   pingpong      K self-rescheduling timers, short deltas (the steady
+//                 state of every device model in this repo). Acceptance:
+//                 wheel >= 3x reference events/sec, 0 allocs/event.
+//   burst         same-timestamp bursts (tie-break machinery).
+//   wide_horizon  pseudo-random deltas up to ~100 s, past the wheel
+//                 horizon (cascade + overflow paths).
+//
+// Emits BENCH_sim_core.json for scripts/check_perf.sh and prints a
+// table. Both cores run every workload and must agree on final Now().
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/reference_event_queue.h"
+#include "src/sim/simulator.h"
+
+// --- Counting allocator hook -------------------------------------------
+// Global operator new/delete overrides local to this binary; every heap
+// allocation anywhere in the process bumps the counter, so
+// "allocations/event" really means the whole scheduling path.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace postblock::sim {
+namespace {
+
+/// The pre-timing-wheel simulator core, verbatim from the seed tree:
+/// binary heap keyed on (when, seq) + std::function callbacks. The
+/// workloads below are templated over the simulator type so both cores
+/// run byte-identical schedules.
+class RefSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime Now() const { return now_; }
+  void Schedule(SimTime delay, Callback cb) {
+    queue_.Push(now_ + delay, std::move(cb));
+  }
+  SimTime Run() {
+    while (!queue_.empty()) {
+      now_ = queue_.NextTime();
+      auto cb = queue_.Pop();
+      ++events_;
+      cb();
+    }
+    return now_;
+  }
+  std::uint64_t events_executed() const { return events_; }
+
+ private:
+  ReferenceEventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+struct RunStats {
+  std::uint64_t events = 0;
+  double seconds = 0;
+  std::uint64_t allocs = 0;
+  SimTime final_now = 0;
+
+  double eps() const { return seconds > 0 ? events / seconds : 0; }
+  double allocs_per_event() const {
+    return events > 0 ? static_cast<double>(allocs) / events : 0;
+  }
+};
+
+template <typename Fn>
+RunStats Measure(std::uint64_t events, Fn&& run) {
+  RunStats s;
+  s.events = events;
+  const std::uint64_t alloc0 =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  s.final_now = run();
+  const auto t1 = std::chrono::steady_clock::now();
+  s.allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
+  s.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return s;
+}
+
+// --- Workloads ---------------------------------------------------------
+
+/// K timers, each rescheduling itself `total/K`-ish times with a short
+/// period. Captures are 48 bytes — the size the device models' staging
+/// lambdas were rebuilt around — which fills InplaceCallback's inline
+/// buffer exactly but forces libstdc++ std::function to the heap.
+template <typename Sim>
+SimTime PingPong(Sim& sim, std::uint64_t total, unsigned actors) {
+  struct Ctx {
+    Sim* sim;
+    std::uint64_t remaining;
+  };
+  Ctx ctx{&sim, total};
+  struct Fire {
+    static void At(Ctx* c, std::uint64_t salt, std::uint64_t payload,
+                   std::uint64_t a, std::uint64_t b, std::uint64_t d) {
+      if (c->remaining == 0) return;
+      --c->remaining;
+      c->sim->Schedule(100, [c, salt, payload, a, b, d] {
+        At(c, salt + 1, payload ^ salt, a + 1, b ^ a, d + b);
+      });
+    }
+  };
+  for (unsigned i = 0; i < actors; ++i) {
+    sim.Schedule(1 + (i * 7) % 997, [&ctx, i] {
+      Fire::At(&ctx, i, i * 0x9e3779b9ull, i, ~std::uint64_t{i}, 1);
+    });
+  }
+  return sim.Run();
+}
+
+/// R rounds of B events all at the same timestamp: stresses the
+/// insertion-order tie-break path.
+template <typename Sim>
+SimTime Burst(Sim& sim, unsigned rounds, unsigned burst) {
+  struct Ctx {
+    std::uint64_t sink = 0;
+  };
+  static Ctx ctx;
+  for (unsigned r = 1; r <= rounds; ++r) {
+    for (unsigned b = 0; b < burst; ++b) {
+      sim.Schedule(r * 100, [b, r, x = std::uint64_t{b} * r] {
+        ctx.sink += b + r + x;
+      });
+    }
+  }
+  return sim.Run();
+}
+
+/// Chains with pseudo-random deltas spanning ns to ~100 s: most events
+/// land in coarse wheel levels or the overflow map and cascade down.
+template <typename Sim>
+SimTime WideHorizon(Sim& sim, std::uint64_t total, unsigned chains) {
+  struct Ctx {
+    Sim* sim;
+    std::uint64_t remaining;
+    std::uint64_t lcg = 0x2545f4914f6cdd1dull;
+    SimTime NextDelay() {
+      lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t r = lcg >> 33;
+      // Mix of short (ns..us) and long (up to ~100 s) delays.
+      return (r % 8 == 0) ? (r % (100 * kSecond)) : (r % 4096);
+    }
+  };
+  Ctx ctx{&sim, total};
+  struct Fire {
+    static void At(Ctx* c, std::uint64_t salt, std::uint64_t payload) {
+      if (c->remaining == 0) return;
+      --c->remaining;
+      c->sim->Schedule(c->NextDelay(),
+                       [c, salt, payload] { At(c, salt + 1, payload); });
+    }
+  };
+  for (unsigned i = 0; i < chains; ++i) Fire::At(&ctx, i, i);
+  return sim.Run();
+}
+
+struct Comparison {
+  std::string name;
+  RunStats reference;
+  RunStats wheel;
+  double speedup() const {
+    return reference.seconds > 0 && wheel.seconds > 0
+               ? wheel.eps() / reference.eps()
+               : 0;
+  }
+};
+
+void Print(const Comparison& c) {
+  std::printf(
+      "%-13s ref: %9.2fM ev/s  %5.2f allocs/ev | wheel: %9.2fM ev/s  "
+      "%5.2f allocs/ev | speedup %.2fx\n",
+      c.name.c_str(), c.reference.eps() / 1e6,
+      c.reference.allocs_per_event(), c.wheel.eps() / 1e6,
+      c.wheel.allocs_per_event(), c.speedup());
+}
+
+void EmitJson(const std::vector<Comparison>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Comparison& c = rows[i];
+    std::fprintf(
+        f,
+        "  \"%s\": {\"events\": %llu, \"reference_eps\": %.0f, "
+        "\"wheel_eps\": %.0f, \"speedup\": %.3f, "
+        "\"reference_allocs_per_event\": %.4f, "
+        "\"wheel_allocs_per_event\": %.4f}%s\n",
+        c.name.c_str(), static_cast<unsigned long long>(c.wheel.events),
+        c.reference.eps(), c.wheel.eps(), c.speedup(),
+        c.reference.allocs_per_event(), c.wheel.allocs_per_event(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main() {
+  constexpr std::uint64_t kPingPongEvents = 4'000'000;
+  constexpr unsigned kActors = 4096;
+  constexpr unsigned kRounds = 2000;
+  constexpr unsigned kBurst = 1000;
+  constexpr std::uint64_t kWideEvents = 2'000'000;
+  constexpr unsigned kChains = 4096;
+
+  std::printf("bench_sim_core: discrete-event engine throughput\n");
+  std::printf(
+      "  reference = binary heap + std::function (pre-change core)\n"
+      "  wheel     = hierarchical timing wheel + InplaceCallback\n\n");
+
+  std::vector<Comparison> rows;
+
+  {
+    Comparison c{"pingpong", {}, {}};
+    {
+      RefSimulator sim;
+      // Warm the same instance: primes internal vectors and allocator
+      // caches so the measured phase is steady state for both cores.
+      PingPong(sim, kPingPongEvents / 10, kActors);
+      c.reference = Measure(kPingPongEvents + kActors,
+                            [&] { return PingPong(sim, kPingPongEvents,
+                                                  kActors); });
+    }
+    {
+      Simulator sim;
+      PingPong(sim, kPingPongEvents / 10, kActors);
+      c.wheel = Measure(kPingPongEvents + kActors,
+                        [&] { return PingPong(sim, kPingPongEvents,
+                                              kActors); });
+    }
+    Print(c);
+    rows.push_back(std::move(c));
+  }
+
+  {
+    Comparison c{"burst", {}, {}};
+    {
+      RefSimulator sim;
+      c.reference =
+          Measure(std::uint64_t{kRounds} * kBurst,
+                  [&] { return Burst(sim, kRounds, kBurst); });
+    }
+    {
+      Simulator sim;
+      c.wheel = Measure(std::uint64_t{kRounds} * kBurst,
+                        [&] { return Burst(sim, kRounds, kBurst); });
+    }
+    Print(c);
+    rows.push_back(std::move(c));
+  }
+
+  {
+    Comparison c{"wide_horizon", {}, {}};
+    {
+      RefSimulator sim;
+      c.reference = Measure(kWideEvents, [&] {
+        return WideHorizon(sim, kWideEvents, kChains);
+      });
+    }
+    {
+      Simulator sim;
+      c.wheel = Measure(kWideEvents, [&] {
+        return WideHorizon(sim, kWideEvents, kChains);
+      });
+    }
+    Print(c);
+    rows.push_back(std::move(c));
+  }
+
+  bool ok = true;
+  for (const Comparison& c : rows) {
+    if (c.reference.final_now != c.wheel.final_now) {
+      std::printf("DETERMINISM MISMATCH in %s: ref Now()=%llu wheel "
+                  "Now()=%llu\n",
+                  c.name.c_str(),
+                  static_cast<unsigned long long>(c.reference.final_now),
+                  static_cast<unsigned long long>(c.wheel.final_now));
+      ok = false;
+    }
+  }
+  std::printf("\nfinal simulated times: %s\n",
+              ok ? "identical across cores" : "MISMATCH");
+
+  EmitJson(rows, "BENCH_sim_core.json");
+  std::printf("wrote BENCH_sim_core.json\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace postblock::sim
+
+int main() { return postblock::sim::Main(); }

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Event-core performance regression gate.
+#
+# Builds Release, runs bench_sim_core (emits BENCH_sim_core.json), then
+# checks:
+#   1. hard floors from the event-core rework: pingpong speedup >= 3x
+#      over the reference binary-heap core, and 0 heap allocations per
+#      event in steady state;
+#   2. events/sec against the committed baseline
+#      (bench/baselines/sim_core_baseline.json) within +-15%. A missing
+#      baseline is created from the current run (first-run bootstrap).
+#
+# Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-perf}"
+BASELINE="bench/baselines/sim_core_baseline.json"
+TOLERANCE=0.15
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_sim_core -j "$(nproc)" \
+  >/dev/null
+
+( cd "$BUILD_DIR" && ./bench/bench_sim_core )
+RESULT="$BUILD_DIR/BENCH_sim_core.json"
+
+if [ ! -f "$BASELINE" ]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$RESULT" "$BASELINE"
+  echo "check_perf: no baseline found; recorded $BASELINE from this run."
+  exit 0
+fi
+
+python3 - "$RESULT" "$BASELINE" "$TOLERANCE" <<'EOF'
+import json
+import sys
+
+result_path, baseline_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+result = json.load(open(result_path))
+baseline = json.load(open(baseline_path))
+failures = []
+
+# Hard floors from the event-core rework (ISSUE acceptance criteria).
+pp = result.get("pingpong", {})
+if pp.get("speedup", 0.0) < 3.0:
+    failures.append(
+        f"pingpong speedup {pp.get('speedup')}x < required 3.0x over the "
+        "reference binary-heap core")
+if pp.get("wheel_allocs_per_event", 1.0) >= 0.005:
+    failures.append(
+        f"pingpong wheel allocs/event {pp.get('wheel_allocs_per_event')} "
+        "not ~0 (steady state must not allocate)")
+
+# Regression vs recorded baseline, +-15% on wheel events/sec.
+for name, base in baseline.items():
+    cur = result.get(name)
+    if cur is None:
+        failures.append(f"workload '{name}' missing from current run")
+        continue
+    base_eps, cur_eps = base["wheel_eps"], cur["wheel_eps"]
+    if cur_eps < base_eps * (1.0 - tol):
+        failures.append(
+            f"{name}: wheel {cur_eps:.0f} ev/s is more than "
+            f"{tol:.0%} below baseline {base_eps:.0f} ev/s")
+    elif cur_eps > base_eps * (1.0 + tol):
+        print(f"check_perf: note: {name} improved past +{tol:.0%} "
+              f"({base_eps:.0f} -> {cur_eps:.0f} ev/s); consider "
+              "refreshing the baseline")
+
+if failures:
+    print("check_perf: FAIL")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("check_perf: OK (within tolerance of baseline, floors met)")
+EOF

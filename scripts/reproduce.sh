@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Builds everything, runs the full test suite, and regenerates every
-# paper experiment (EXPERIMENTS.md's tables) into bench_output.txt.
+# Builds everything out of tree, runs the full test suite, regenerates
+# every paper experiment (EXPERIMENTS.md's tables) into bench_output.txt,
+# and runs the event-core performance gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+BUILD_DIR="${BUILD_DIR:-build-repro}"
 
-ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+cmake -B "$BUILD_DIR" -S . -G Ninja
+cmake --build "$BUILD_DIR"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure 2>&1 | tee test_output.txt
 
 : > bench_output.txt
-for b in build/bench/bench_*; do
+for b in "$BUILD_DIR"/bench/bench_*; do
   [ -x "$b" ] || continue
   "$b" 2>&1 | tee -a bench_output.txt
 done
+
+scripts/check_perf.sh "$BUILD_DIR-perf"
 
 echo
 echo "done: test_output.txt + bench_output.txt written."

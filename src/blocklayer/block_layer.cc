@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/inplace_callback.h"
+
 namespace postblock::blocklayer {
 
 BlockLayer::BlockLayer(sim::Simulator* sim, BlockDevice* lower,
@@ -21,46 +23,93 @@ BlockLayer::BlockLayer(sim::Simulator* sim, BlockDevice* lower,
   }
 }
 
+BlockLayer::IoState* BlockLayer::AcquireIo() {
+  if (!io_free_.empty()) {
+    IoState* st = io_free_.back();
+    io_free_.pop_back();
+    return st;
+  }
+  io_states_.push_back(std::make_unique<IoState>());
+  return io_states_.back().get();
+}
+
+void BlockLayer::ReleaseIo(IoState* st) {
+  st->req = IoRequest{};
+  st->user_cb = nullptr;
+  st->result = IoResult{};
+  io_free_.push_back(st);
+}
+
 void BlockLayer::Submit(IoRequest request) {
   counters_.Increment("submitted");
-  const SimTime start = sim_->Now();
-  const std::uint64_t epoch = epoch_;
-  const std::uint32_t q =
-      static_cast<std::uint32_t>(rr_++ % queues_.size());
+  IoState* st = AcquireIo();
+  st->start = sim_->Now();
+  st->epoch = epoch_;
+  st->q = static_cast<std::uint32_t>(rr_++ % queues_.size());
+  st->user_cb = std::move(request.on_complete);
 
   // Wrap the completion: device completion -> completion CPU cost
   // (interrupt or poll) -> caller. Dropped if the host reset meanwhile.
-  IoCallback user_cb = std::move(request.on_complete);
-  request.on_complete = [this, start, epoch, user_cb = std::move(user_cb)](
-                            const IoResult& result) {
-    if (epoch != epoch_) return;
-    const SimTime cost = config_.interrupt_completion
-                             ? config_.cpu.interrupt_ns
-                             : config_.cpu.polled_ns;
-    cpu_.UseFor(cost, [this, start, epoch, user_cb, result]() {
-      if (epoch != epoch_) return;
-      latency_.Record(sim_->Now() - start);
-      counters_.Increment("completed");
-      if (user_cb) user_cb(result);
-    });
+  request.on_complete = [this, st](const IoResult& result) {
+    OnDeviceComplete(st, result);
   };
+  st->req = std::move(request);
 
   // Submission path: per-core CPU work, then the (possibly contended)
   // queue lock for scheduler insertion — the single-queue bottleneck the
   // 2012 Linux block layer was being reworked to remove.
-  cpu_.UseFor(config_.cpu.submit_ns,
-              [this, q, epoch, request = std::move(request)]() mutable {
-                if (epoch != epoch_) return;
-                QueuePair& pair = queues_[q];
-                pair.lock->UseFor(
-                    config_.cpu.schedule_ns,
-                    [this, q, epoch,
-                     request = std::move(request)]() mutable {
-                      if (epoch != epoch_) return;
-                      queues_[q].scheduler->Enqueue(std::move(request));
-                      Dispatch(q);
-                    });
-              });
+  auto submit_stage = [this, st] { SubmitToQueue(st); };
+  static_assert(sim::InplaceCallback::fits<decltype(submit_stage)>());
+  cpu_.UseFor(config_.cpu.submit_ns, submit_stage);
+}
+
+void BlockLayer::SubmitToQueue(IoState* st) {
+  if (st->epoch != epoch_) {
+    ReleaseIo(st);
+    return;
+  }
+  auto enqueue_stage = [this, st] { EnqueueLocked(st); };
+  static_assert(sim::InplaceCallback::fits<decltype(enqueue_stage)>());
+  queues_[st->q].lock->UseFor(config_.cpu.schedule_ns, enqueue_stage);
+}
+
+void BlockLayer::EnqueueLocked(IoState* st) {
+  if (st->epoch != epoch_) {
+    ReleaseIo(st);
+    return;
+  }
+  const std::uint32_t q = st->q;
+  queues_[q].scheduler->Enqueue(std::move(st->req));
+  Dispatch(q);
+}
+
+void BlockLayer::OnDeviceComplete(IoState* st, const IoResult& result) {
+  if (st->epoch != epoch_) {
+    ReleaseIo(st);
+    return;
+  }
+  --queues_[st->q].outstanding;
+  Dispatch(st->q);
+  st->result = result;
+  const SimTime cost = config_.interrupt_completion
+                           ? config_.cpu.interrupt_ns
+                           : config_.cpu.polled_ns;
+  auto finish_stage = [this, st] { FinishIo(st); };
+  static_assert(sim::InplaceCallback::fits<decltype(finish_stage)>());
+  cpu_.UseFor(cost, finish_stage);
+}
+
+void BlockLayer::FinishIo(IoState* st) {
+  if (st->epoch != epoch_) {
+    ReleaseIo(st);
+    return;
+  }
+  latency_.Record(sim_->Now() - st->start);
+  counters_.Increment("completed");
+  IoCallback cb = std::move(st->user_cb);
+  IoResult result = std::move(st->result);
+  ReleaseIo(st);
+  if (cb) cb(result);
 }
 
 void BlockLayer::PowerCycle() {
@@ -75,17 +124,11 @@ void BlockLayer::Dispatch(std::uint32_t q) {
   QueuePair& pair = queues_[q];
   while (pair.outstanding < config_.queue_depth &&
          !pair.scheduler->empty()) {
+    // The request's on_complete is already the per-IO completion wrapper
+    // (OnDeviceComplete), which decrements `outstanding` and re-enters
+    // Dispatch — no per-dispatch closure wrapping needed.
     IoRequest r = pair.scheduler->Dequeue();
     ++pair.outstanding;
-    IoCallback inner = std::move(r.on_complete);
-    const std::uint64_t epoch = epoch_;
-    r.on_complete = [this, q, epoch, inner = std::move(inner)](
-                        const IoResult& result) {
-      if (epoch != epoch_) return;
-      --queues_[q].outstanding;
-      Dispatch(q);
-      if (inner) inner(result);
-    };
     lower_->Submit(std::move(r));
   }
 }

@@ -70,6 +70,26 @@ class BlockLayer : public BlockDevice {
     std::uint32_t outstanding = 0;
   };
 
+  /// Per-IO state, pooled and recycled: submission and completion stage
+  /// lambdas capture only {this, IoState*}, small enough for both
+  /// std::function's SSO and InplaceCallback's inline buffer, so the
+  /// block layer's hot path schedules without heap allocation.
+  struct IoState {
+    SimTime start = 0;
+    std::uint64_t epoch = 0;
+    std::uint32_t q = 0;
+    IoRequest req;
+    IoCallback user_cb;
+    IoResult result;
+  };
+
+  IoState* AcquireIo();
+  void ReleaseIo(IoState* st);
+
+  void SubmitToQueue(IoState* st);
+  void EnqueueLocked(IoState* st);
+  void OnDeviceComplete(IoState* st, const IoResult& result);
+  void FinishIo(IoState* st);
   void Dispatch(std::uint32_t q);
 
   sim::Simulator* sim_;
@@ -79,6 +99,8 @@ class BlockLayer : public BlockDevice {
   std::vector<QueuePair> queues_;
   std::uint64_t rr_ = 0;  // submission queue choice (models per-core)
   std::uint64_t epoch_ = 0;
+  std::vector<std::unique_ptr<IoState>> io_states_;  // owns every record
+  std::vector<IoState*> io_free_;                    // recycled records
   Histogram latency_;
   Counters counters_;
 };

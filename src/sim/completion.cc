@@ -1,5 +1,6 @@
 #include "sim/completion.h"
 
+#include <type_traits>
 #include <utility>
 
 namespace postblock::sim {
@@ -11,7 +12,13 @@ void Completion::Complete(Simulator* sim, Status status) {
 }
 
 std::function<void(Status)> Completion::AsCallback(Simulator* sim) {
-  return [this, sim](Status s) { Complete(sim, std::move(s)); };
+  auto cb = [this, sim](Status s) { Complete(sim, std::move(s)); };
+  // The device-facing `void(Status)` convention still uses
+  // std::function; keep this adapter inside libstdc++'s 16-byte SSO so
+  // the completion path stays allocation-free like the event core.
+  static_assert(sizeof(cb) <= 2 * sizeof(void*) &&
+                std::is_trivially_copyable_v<decltype(cb)>);
+  return cb;
 }
 
 bool WaitFor(Simulator* sim, const Completion& c) {

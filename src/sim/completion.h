@@ -47,7 +47,9 @@ class CountdownLatch {
   std::uint64_t remaining() const { return remaining_; }
 
   std::function<void(Status)> AsCallback() {
-    return [this](const Status&) { CountDown(); };
+    auto cb = [this](const Status&) { CountDown(); };
+    static_assert(sizeof(cb) <= 2 * sizeof(void*));  // std::function SSO
+    return cb;
   }
 
  private:

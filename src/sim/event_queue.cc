@@ -1,16 +1,129 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <utility>
 
 namespace postblock::sim {
 
-void EventQueue::Push(SimTime when, Callback cb) {
-  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+EventQueue::EventQueue() = default;
+
+/// Canonical placement: the finest level whose block (the bits above the
+/// level's slot index) contains both `e.when` and the wheel position.
+/// Events past the coarsest level's block go to the overflow map.
+void EventQueue::Place(Entry e) {
+  for (int level = 0; level < kLevels; ++level) {
+    if (HighBits(e.when, level) == HighBits(cur_, level)) {
+      const unsigned idx = static_cast<unsigned>(
+          (e.when >> (kSlotBits * level)) & kSlotMask);
+      slots_[level][idx].push_back(std::move(e));
+      occupied_[level] |= 1ull << idx;
+      return;
+    }
+  }
+  overflow_[e.when].push_back(std::move(e));
+}
+
+/// Moves every entry of a slot that covers cur_ down at least one level.
+/// Only covering slots are ever cascaded, so re-placement can never
+/// target the vector being iterated.
+void EventQueue::CascadeSlot(int level, unsigned idx) {
+  auto& v = slots_[level][idx];
+  occupied_[level] &= ~(1ull << idx);
+  for (Entry& e : v) Place(std::move(e));
+  v.clear();  // keeps capacity — steady state stays allocation-free
+}
+
+/// Feeds the earliest overflow block into the (empty) wheel. The wheel
+/// position's top-level block only ever changes here, which is what
+/// keeps overflow entries from interleaving wrongly with wheel entries.
+void EventQueue::PullOverflowBlock() {
+  assert(!overflow_.empty());
+  auto it = overflow_.begin();
+  const std::uint64_t block = HighBits(it->first, kLevels - 1);
+  const SimTime block_base = block << (kSlotBits * kLevels);
+  if (cur_ < block_base) cur_ = block_base;
+  while (it != overflow_.end() &&
+         HighBits(it->first, kLevels - 1) == block) {
+    for (Entry& e : it->second) Place(std::move(e));
+    it = overflow_.erase(it);
+  }
+}
+
+/// Entries in one level-0 slot all share a timestamp (1 ns tick), but
+/// cascading can append an early-pushed far-scheduled event behind a
+/// later-pushed near-scheduled one. Restore seq order once per slot
+/// drain; events appended afterwards carry larger seqs and stay sorted.
+void EventQueue::EnsureDrainSlotSorted(std::vector<Entry>& slot) {
+  if (sorted_slot_time_ == cur_) return;
+  assert(drain_pos_ == 0);
+  const auto by_seq = [](const Entry& a, const Entry& b) {
+    return a.seq < b.seq;
+  };
+  if (!std::is_sorted(slot.begin(), slot.end(), by_seq)) {
+    std::sort(slot.begin(), slot.end(), by_seq);
+  }
+  sorted_slot_time_ = cur_;
+}
+
+SimTime EventQueue::NextTime() {
+  assert(size_ > 0);
+  for (;;) {
+    // 1) Cascade occupied slots covering cur_, coarsest first, so every
+    //    event due in cur_'s level-0 block is actually at level 0. New
+    //    pushes can never land in a covering slot (Place resolves them
+    //    to a finer level), so one pass per level-0 block suffices.
+    if ((cur_ >> kSlotBits) != cascaded_block_) {
+      for (int level = kLevels - 1; level >= 1; --level) {
+        const unsigned idx = static_cast<unsigned>(
+            (cur_ >> (kSlotBits * level)) & kSlotMask);
+        if (occupied_[level] & (1ull << idx)) CascadeSlot(level, idx);
+      }
+      cascaded_block_ = cur_ >> kSlotBits;
+    }
+    if (occupied_[0] != 0) {
+      // Earliest pending event: all level-0 entries live in cur_'s
+      // 64 ns block at slot (when & 63), so the lowest set bit is it.
+      const unsigned idx =
+          static_cast<unsigned>(std::countr_zero(occupied_[0]));
+      const SimTime t = (cur_ & ~kSlotMask) | idx;
+      assert(t >= cur_);
+      cur_ = t;
+      EnsureDrainSlotSorted(slots_[0][idx]);
+      return t;
+    }
+    // 2) Jump to the earliest future slot of the finest nonempty level
+    //    (finer levels always precede coarser ones in time); the next
+    //    pass cascades it as a covering slot.
+    bool advanced = false;
+    for (int level = 1; level < kLevels; ++level) {
+      if (occupied_[level] == 0) continue;
+      const unsigned idx =
+          static_cast<unsigned>(std::countr_zero(occupied_[level]));
+      const SimTime block_base = HighBits(cur_, level)
+                                 << (kSlotBits * (level + 1));
+      cur_ = block_base + (SimTime{idx} << (kSlotBits * level));
+      advanced = true;
+      break;
+    }
+    if (advanced) continue;
+    // 3) Wheel drained entirely: feed the next overflow block in.
+    PullOverflowBlock();
+  }
 }
 
 EventQueue::Callback EventQueue::Pop() {
-  Callback cb = std::move(heap_.top().cb);
-  heap_.pop();
+  const SimTime t = NextTime();
+  auto& slot = slots_[0][t & kSlotMask];
+  Callback cb = std::move(slot[drain_pos_].cb);
+  ++drain_pos_;
+  if (drain_pos_ == slot.size()) {
+    slot.clear();  // entries already moved-from; capacity retained
+    drain_pos_ = 0;
+    occupied_[0] &= ~(1ull << (t & kSlotMask));
+  }
+  --size_;
   return cb;
 }
 

@@ -1,28 +1,62 @@
 #ifndef POSTBLOCK_SIM_EVENT_QUEUE_H_
 #define POSTBLOCK_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <map>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/inplace_callback.h"
 
 namespace postblock::sim {
 
 /// A time-ordered queue of callbacks. Ties (equal timestamps) fire in
 /// insertion order, which makes whole-simulation runs deterministic.
+///
+/// Implemented as a hierarchical timing wheel: kLevels levels of kSlots
+/// slots each, 1 ns tick at level 0, each level kSlots times coarser
+/// than the one below. Push and Pop are O(1) amortized (an event
+/// cascades down at most kLevels-1 times over its lifetime) versus
+/// O(log n) for a binary heap, and slot vectors retain their capacity,
+/// so the steady state allocates nothing per event. Events beyond the
+/// wheel horizon (~69 simulated seconds ahead) overflow into a sorted
+/// map and are fed back into the wheel as time advances.
+///
+/// Contract: timestamps must not go backwards — Push(when) with `when`
+/// earlier than the timestamp of the most recently popped event is
+/// clamped to it (the same clamp Simulator applies against Now()). The
+/// pop order is exactly (when, push order), bit-identical to a binary
+/// heap keyed on (when, seq); tests/event_queue_determinism_test.cc
+/// holds the two implementations to that.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
-  void Push(SimTime when, Callback cb);
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint64_t kSlots = 1ull << kSlotBits;
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+  static constexpr int kLevels = 6;
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  EventQueue();
+
+  /// Enqueues `f` at `when` (clamped to the last popped timestamp).
+  /// Templated so the callback is constructed directly inside the slot
+  /// entry — no intermediate InplaceCallback moves on the push path.
+  template <typename F>
+  void Push(SimTime when, F&& f) {
+    if (when < cur_) when = cur_;  // same clamp Simulator applies vs Now()
+    Place(Entry{when, next_seq_++, std::forward<F>(f)});
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
 
   /// Timestamp of the earliest pending event. Requires !empty().
-  SimTime NextTime() const { return heap_.top().when; }
+  /// Advances internal wheel cursors (cascading coarse slots down), so
+  /// it is not const; the observable pop sequence is unaffected.
+  SimTime NextTime();
 
   /// Removes and returns the earliest event's callback. Requires !empty().
   Callback Pop();
@@ -31,19 +65,35 @@ class EventQueue {
   struct Entry {
     SimTime when;
     std::uint64_t seq;  // insertion order, breaks timestamp ties
-    // Shared ownership is not needed; mutable so Pop() can move it out of
-    // the (const) priority_queue top.
-    mutable Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+    Callback cb;
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Bits above level L's slot index: equal for cur_ and `t` iff `t`
+  /// belongs in level <= L of the current wheel position.
+  static constexpr std::uint64_t HighBits(SimTime t, int level) {
+    return t >> (kSlotBits * (level + 1));
+  }
+
+  void Place(Entry e);
+  void CascadeSlot(int level, unsigned idx);
+  void PullOverflowBlock();
+  void EnsureDrainSlotSorted(std::vector<Entry>& slot);
+
+  std::vector<Entry> slots_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels] = {};  // bitmap of nonempty slots
+  /// Far-future events, keyed by timestamp; vectors hold push order.
+  std::map<SimTime, std::vector<Entry>> overflow_;
+
+  SimTime cur_ = 0;           // wheel position (<= earliest pending when)
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t drain_pos_ = 0;  // next entry in the level-0 slot at cur_
+  SimTime sorted_slot_time_ = ~SimTime{0};  // slot already seq-sorted
+  /// Level-0 block (cur_ >> kSlotBits) whose covering slots have been
+  /// cascaded. Place() never targets a covering slot of the current
+  /// position, so the cascade scan only needs to rerun when the wheel
+  /// enters a new block — not on every NextTime() call.
+  std::uint64_t cascaded_block_ = ~std::uint64_t{0};
 };
 
 }  // namespace postblock::sim

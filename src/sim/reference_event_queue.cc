@@ -1,0 +1,17 @@
+#include "sim/reference_event_queue.h"
+
+#include <utility>
+
+namespace postblock::sim {
+
+void ReferenceEventQueue::Push(SimTime when, Callback cb) {
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+ReferenceEventQueue::Callback ReferenceEventQueue::Pop() {
+  Callback cb = std::move(heap_.top().cb);
+  heap_.pop();
+  return cb;
+}
+
+}  // namespace postblock::sim

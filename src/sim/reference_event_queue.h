@@ -1,0 +1,54 @@
+#ifndef POSTBLOCK_SIM_REFERENCE_EVENT_QUEUE_H_
+#define POSTBLOCK_SIM_REFERENCE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace postblock::sim {
+
+/// The original binary-heap + std::function event queue, kept as the
+/// executable specification of EventQueue's ordering contract: pop order
+/// is (when, push order). tests/event_queue_determinism_test.cc checks
+/// the timing wheel against it and bench/bench_sim_core.cc measures the
+/// two side by side.
+class ReferenceEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void Push(SimTime when, Callback cb);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Requires !empty().
+  SimTime NextTime() const { return heap_.top().when; }
+
+  /// Removes and returns the earliest event's callback. Requires !empty().
+  Callback Pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;  // insertion order, breaks timestamp ties
+    // Shared ownership is not needed; mutable so Pop() can move it out of
+    // the (const) priority_queue top.
+    mutable Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace postblock::sim
+
+#endif  // POSTBLOCK_SIM_REFERENCE_EVENT_QUEUE_H_

@@ -5,13 +5,40 @@
 
 namespace postblock::sim {
 
+void Resource::WaiterRing::push_back(Waiter w) {
+  if (count_ == buf_.size()) Grow();
+  buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(w);
+  ++count_;
+}
+
+Resource::Waiter Resource::WaiterRing::pop_front() {
+  assert(count_ > 0);
+  Waiter w = std::move(buf_[head_]);
+  head_ = (head_ + 1) & (buf_.size() - 1);
+  --count_;
+  return w;
+}
+
+void Resource::WaiterRing::Grow() {
+  const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+  std::vector<Waiter> next(new_cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+  }
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
 Resource::Resource(Simulator* sim, std::string name, int capacity)
     : sim_(sim), name_(std::move(name)), capacity_(capacity) {
   assert(capacity_ >= 1);
 }
 
+Resource::~Resource() = default;
+
 void Resource::AccrueBusy() const {
-  busy_ns_ += static_cast<std::uint64_t>(in_use_) * (sim_->Now() - busy_since_);
+  busy_ns_ +=
+      static_cast<std::uint64_t>(in_use_) * (sim_->Now() - busy_since_);
   busy_since_ = sim_->Now();
 }
 
@@ -31,17 +58,32 @@ void Resource::Release() {
   AccrueBusy();
   if (!waiters_.empty()) {
     // Hand the slot directly to the next waiter without ever marking it
-    // free: a new Acquire arriving before the zero-delay grant fires
-    // must queue behind existing waiters (strict FCFS), not jump in.
-    // The hop itself keeps long grant chains iterative, not recursive.
-    Waiter w = std::move(waiters_.front());
-    waiters_.pop_front();
-    sim_->Schedule(0, [this, w = std::move(w)]() mutable {
-      GrantTo(std::move(w));
-    });
+    // free: a new Acquire arriving before the drain event fires must
+    // queue behind existing waiters (strict FCFS), not jump in. One
+    // shared zero-delay drain grants every slot released at this
+    // timestamp, keeping long grant chains iterative and letting a
+    // single event retire a whole batch of handoffs.
+    ready_.push_back(waiters_.pop_front());
+    if (!drain_scheduled_) {
+      drain_scheduled_ = true;
+      sim_->Schedule(0, [this] { DrainReady(); });
+    }
     return;
   }
   --in_use_;
+}
+
+void Resource::DrainReady() {
+  drain_scheduled_ = false;
+  // Grant only the waiters ready at entry: a grant can release again,
+  // which appends to ready_ and schedules a fresh drain — mirroring the
+  // one-event-per-handoff order the heap-based core used.
+  const std::size_t n = ready_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    GrantTo(std::move(ready_[i]));
+  }
+  ready_.erase(ready_.begin(),
+               ready_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 void Resource::GrantTo(Waiter w) {
@@ -51,13 +93,37 @@ void Resource::GrantTo(Waiter w) {
   w.grant();
 }
 
-void Resource::UseFor(SimTime duration, std::function<void()> done) {
-  Acquire([this, duration, done = std::move(done)]() mutable {
-    sim_->Schedule(duration, [this, done = std::move(done)]() {
-      Release();
-      done();
+Resource::UseOp* Resource::AcquireUseOp() {
+  if (!use_op_free_.empty()) {
+    UseOp* op = use_op_free_.back();
+    use_op_free_.pop_back();
+    return op;
+  }
+  use_ops_.push_back(std::make_unique<UseOp>());
+  use_ops_.back()->res = this;
+  return use_ops_.back().get();
+}
+
+void Resource::ReleaseUseOp(UseOp* op) {
+  op->done = InplaceCallback();
+  use_op_free_.push_back(op);
+}
+
+void Resource::UseFor(SimTime duration, InplaceCallback done) {
+  UseOp* op = AcquireUseOp();
+  op->duration = duration;
+  op->done = std::move(done);
+  auto grant = [op] {
+    op->res->sim_->Schedule(op->duration, [op] {
+      Resource* res = op->res;
+      InplaceCallback cb = std::move(op->done);
+      res->ReleaseUseOp(op);
+      res->Release();
+      cb();
     });
-  });
+  };
+  static_assert(InplaceCallback::fits<decltype(grant)>());
+  Acquire(grant);
 }
 
 std::uint64_t Resource::busy_ns() const {
@@ -69,7 +135,8 @@ double Resource::Utilization() const {
   if (sim_->Now() == 0) return 0.0;
   AccrueBusy();
   return static_cast<double>(busy_ns_) /
-         (static_cast<double>(capacity_) * static_cast<double>(sim_->Now()));
+         (static_cast<double>(capacity_) *
+          static_cast<double>(sim_->Now()));
 }
 
 }  // namespace postblock::sim

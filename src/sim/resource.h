@@ -2,12 +2,13 @@
 #define POSTBLOCK_SIM_RESOURCE_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/types.h"
+#include "sim/inplace_callback.h"
 #include "sim/simulator.h"
 
 namespace postblock::sim {
@@ -17,22 +18,35 @@ namespace postblock::sim {
 /// core, etc. Tracks utilization and queueing delay so benches can tell
 /// *which* resource bound a workload (the paper's channel-bound vs
 /// chip-bound distinction, Figure 1).
+///
+/// Grants are InplaceCallback (no heap traffic for pointer-sized
+/// captures), waiters live in a recycled ring buffer, and slot handoffs
+/// are batched: each release moves the next waiter to a ready list and a
+/// single zero-delay drain event grants every ready waiter, so one
+/// event can retire many queued completions.
 class Resource {
  public:
-  using Grant = std::function<void()>;
+  using Grant = InplaceCallback;
 
   Resource(Simulator* sim, std::string name, int capacity = 1);
+  ~Resource();
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
 
   /// Requests a slot. `on_grant` runs as soon as a slot is available —
   /// synchronously if one is free now, otherwise when a holder releases.
   void Acquire(Grant on_grant);
 
-  /// Releases one held slot. Hands the slot to the next waiter via a
-  /// zero-delay event (avoids unbounded recursion on long queues).
+  /// Releases one held slot. If waiters are queued, the slot is carried
+  /// directly to the next one (never marked free — strict FCFS) and
+  /// granted by the shared zero-delay drain event.
   void Release();
 
   /// Convenience: acquire, hold for `duration`, release, then run `done`.
-  void UseFor(SimTime duration, std::function<void()> done);
+  /// Per-call state lives in a pooled record, so the scheduling lambdas
+  /// capture a single pointer and stay inline in the event queue.
+  void UseFor(SimTime duration, InplaceCallback done);
 
   int in_use() const { return in_use_; }
   std::size_t queue_length() const { return waiters_.size(); }
@@ -48,16 +62,49 @@ class Resource {
  private:
   struct Waiter {
     Grant grant;
-    SimTime enqueued_at;
+    SimTime enqueued_at = 0;
+  };
+
+  /// Recycled FIFO of waiters: a power-of-two ring over a vector, so the
+  /// contended steady state never touches the allocator (std::deque
+  /// churns blocks as elements cycle through).
+  class WaiterRing {
+   public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    void push_back(Waiter w);
+    Waiter pop_front();
+
+   private:
+    void Grow();
+    std::vector<Waiter> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+  };
+
+  struct UseOp {
+    Resource* res = nullptr;
+    SimTime duration = 0;
+    InplaceCallback done;
   };
 
   void GrantTo(Waiter w);
+  void DrainReady();
+  UseOp* AcquireUseOp();
+  void ReleaseUseOp(UseOp* op);
 
   Simulator* sim_;
   std::string name_;
   int capacity_;
   int in_use_ = 0;
-  std::deque<Waiter> waiters_;
+  WaiterRing waiters_;
+  /// Waiters whose slot has been carried over by Release(), awaiting the
+  /// drain event. Granted strictly in release order.
+  std::vector<Waiter> ready_;
+  bool drain_scheduled_ = false;
+
+  std::vector<std::unique_ptr<UseOp>> use_ops_;  // owns every UseOp
+  std::vector<UseOp*> use_op_free_;              // recycled records
 
   mutable std::uint64_t busy_ns_ = 0;
   mutable SimTime busy_since_ = 0;  // last time in_use_ changed

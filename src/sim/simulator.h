@@ -1,33 +1,52 @@
 #ifndef POSTBLOCK_SIM_SIMULATOR_H_
 #define POSTBLOCK_SIM_SIMULATOR_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 
 #include "common/types.h"
 #include "sim/event_queue.h"
+#include "sim/inplace_callback.h"
 
 namespace postblock::sim {
 
 /// Deterministic single-threaded discrete-event simulator. All devices
 /// and host-side components in postblock share one Simulator; "wall
 /// clock" in benches means Simulator::Now() at the end of a run.
+///
+/// Callbacks are InplaceCallback, not std::function: captures up to
+/// InplaceCallback::kInlineBytes are stored inline in the event queue
+/// entry, so the hot scheduling path performs no heap allocation.
 class Simulator {
  public:
+  using Callback = InplaceCallback;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
 
-  /// Schedules `cb` to run `delay` ns from now.
-  void Schedule(SimTime delay, std::function<void()> cb) {
-    queue_.Push(now_ + delay, std::move(cb));
+  /// Schedules a callable to run `delay` ns from now. Templated so the
+  /// callable is forwarded all the way into the event-queue slot and
+  /// constructed there once, with no intermediate Callback objects.
+  template <typename F>
+  void Schedule(SimTime delay, F&& f) {
+    queue_.Push(now_ + delay, std::forward<F>(f));
   }
 
-  /// Schedules `cb` at an absolute timestamp (must be >= Now()).
-  void ScheduleAt(SimTime when, std::function<void()> cb) {
-    queue_.Push(when < now_ ? now_ : when, std::move(cb));
+  /// Schedules a callable at an absolute timestamp. Scheduling in the
+  /// past is a latent time bug: it asserts in debug builds; release
+  /// builds clamp to Now() and count it in the sim.schedule_clamped stat.
+  template <typename F>
+  void ScheduleAt(SimTime when, F&& f) {
+    assert(when >= now_ && "ScheduleAt: timestamp in the past");
+    if (when < now_) {
+      ++schedule_clamped_;
+      when = now_;
+    }
+    queue_.Push(when, std::forward<F>(f));
   }
 
   /// Runs events until the queue drains. Returns the final time.
@@ -46,11 +65,15 @@ class Simulator {
 
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return events_executed_; }
+  /// Times ScheduleAt was called with a timestamp already in the past
+  /// (the sim.schedule_clamped stat; nonzero means a latent time bug).
+  std::uint64_t schedule_clamped() const { return schedule_clamped_; }
 
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t schedule_clamped_ = 0;
 };
 
 }  // namespace postblock::sim

@@ -9,11 +9,11 @@ Channel::Channel(sim::Simulator* sim, std::uint32_t index,
       cmd_ns_(timing.cmd_ns),
       bus_(sim, "channel-" + std::to_string(index)) {}
 
-void Channel::Transfer(std::function<void()> done) {
+void Channel::Transfer(sim::InplaceCallback done) {
   bus_.UseFor(transfer_ns_, std::move(done));
 }
 
-void Channel::Command(std::function<void()> done) {
+void Channel::Command(sim::InplaceCallback done) {
   bus_.UseFor(cmd_ns_, std::move(done));
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/types.h"
 #include "flash/timing.h"
+#include "sim/inplace_callback.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -21,10 +22,10 @@ class Channel {
 
   /// Occupies the bus for one page data transfer + command cycles, then
   /// runs `done`.
-  void Transfer(std::function<void()> done);
+  void Transfer(sim::InplaceCallback done);
 
   /// Occupies the bus for command/address cycles only (erase dispatch).
-  void Command(std::function<void()> done);
+  void Command(sim::InplaceCallback done);
 
   std::uint32_t index() const { return index_; }
   sim::Resource* resource() { return &bus_; }

@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/inplace_callback.h"
+
 namespace postblock::ssd {
 
 Controller::Controller(sim::Simulator* sim, const Config& config)
@@ -25,69 +27,121 @@ Controller::Controller(sim::Simulator* sim, const Config& config)
   }
 }
 
+Controller::Op* Controller::AcquireOp() {
+  if (!op_free_.empty()) {
+    Op* op = op_free_.back();
+    op_free_.pop_back();
+    return op;
+  }
+  ops_.push_back(std::make_unique<Op>());
+  return ops_.back().get();
+}
+
+void Controller::ReleaseOp(Op* op) {
+  op->read_cb = nullptr;
+  op->op_cb = nullptr;
+  op_free_.push_back(op);
+}
+
+// --- Read: [LUN: cmd + array read] then [channel: transfer out] --------
+
 void Controller::ReadPage(const flash::Ppa& ppa, ReadCallback on_done) {
-  const SimTime start = sim_->Now();
-  const std::uint64_t epoch = epoch_;
-  sim::Resource* lun = unit_for(ppa);
-  Channel* chan = channels_[ppa.channel].get();
+  Op* op = AcquireOp();
+  op->src = ppa;
+  op->start = sim_->Now();
+  op->epoch = epoch_;
+  op->lun = unit_for(ppa);
+  op->chan = channels_[ppa.channel].get();
+  op->read_cb = std::move(on_done);
+  auto grant = [this, op] { ReadArrayPhase(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
+  op->lun->Acquire(grant);
+}
+
+void Controller::ReadArrayPhase(Op* op) {
+  // Array read: page cells -> on-chip page register. LUN is busy; the
+  // channel is not (command cycles folded into the array time).
   const SimTime array_read =
       config_.timing.cmd_ns + config_.timing.read_ns;
-  lun->Acquire([this, ppa, lun, chan, array_read, start, epoch,
-                on_done = std::move(on_done)]() mutable {
-    // Array read: page cells -> on-chip page register. LUN is busy; the
-    // channel is not (command cycles folded into array_read).
-    sim_->Schedule(array_read, [this, ppa, lun, chan, start, epoch,
-                                on_done = std::move(on_done)]() mutable {
-      // Data transfer: page register -> controller over the shared bus.
-      chan->Transfer([this, ppa, lun, start, epoch,
-                      on_done = std::move(on_done)]() {
-        lun->Release();
-        if (epoch != epoch_) return;  // power-cycled away
-        auto result = flash_.Read(ppa);
-        read_latency_.Record(sim_->Now() - start);
-        const auto& t = config_.timing;
-        flash_.mutable_counters()->Add(
-            "energy_nj", t.read_energy_nj +
-                             t.transfer_nj_per_kib *
-                                 config_.geometry.page_size_bytes / 1024);
-        on_done(std::move(result));
-      });
-    });
-  });
+  auto next = [this, op] { ReadTransferPhase(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  sim_->Schedule(array_read, next);
 }
+
+void Controller::ReadTransferPhase(Op* op) {
+  // Data transfer: page register -> controller over the shared bus.
+  auto next = [this, op] { FinishRead(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  op->chan->Transfer(next);
+}
+
+void Controller::FinishRead(Op* op) {
+  op->lun->Release();
+  if (op->epoch != epoch_) {  // power-cycled away
+    ReleaseOp(op);
+    return;
+  }
+  auto result = flash_.Read(op->src);
+  read_latency_.Record(sim_->Now() - op->start);
+  const auto& t = config_.timing;
+  flash_.mutable_counters()->Add(
+      "energy_nj",
+      t.read_energy_nj +
+          t.transfer_nj_per_kib * config_.geometry.page_size_bytes / 1024);
+  ReadCallback cb = std::move(op->read_cb);
+  ReleaseOp(op);
+  cb(std::move(result));
+}
+
+// --- Program: [channel: transfer in] then [LUN: array program] ---------
 
 void Controller::ProgramPage(const flash::Ppa& ppa,
                              const flash::PageData& data,
                              OpCallback on_done) {
-  const SimTime start = sim_->Now();
-  const std::uint64_t epoch = epoch_;
-  sim::Resource* lun = unit_for(ppa);
-  Channel* chan = channels_[ppa.channel].get();
-  lun->Acquire([this, ppa, data, lun, chan, start, epoch,
-                on_done = std::move(on_done)]() mutable {
+  Op* op = AcquireOp();
+  op->src = ppa;
+  op->data = data;
+  op->start = sim_->Now();
+  op->epoch = epoch_;
+  op->lun = unit_for(ppa);
+  op->chan = channels_[ppa.channel].get();
+  op->op_cb = std::move(on_done);
+  auto grant = [this, op] {
     // Data transfer: controller -> page register (bus busy, array idle).
-    chan->Transfer([this, ppa, data, lun, start, epoch,
-                    on_done = std::move(on_done)]() mutable {
-      // Array program: page register -> cells (LUN busy, bus free).
-      sim_->Schedule(config_.timing.program_ns,
-                     [this, ppa, data, lun, start, epoch,
-                      on_done = std::move(on_done)]() {
-                       lun->Release();
-                       if (epoch != epoch_) return;  // power-cycled away
-                       Status st = flash_.Program(ppa, data);
-                       program_latency_.Record(sim_->Now() - start);
-                       const auto& t = config_.timing;
-                       flash_.mutable_counters()->Add(
-                           "energy_nj",
-                           t.program_energy_nj +
-                               t.transfer_nj_per_kib *
-                                   config_.geometry.page_size_bytes /
-                                   1024);
-                       on_done(std::move(st));
-                     });
-    });
-  });
+    auto next = [this, op] { ProgramArrayPhase(op); };
+    static_assert(sim::InplaceCallback::fits<decltype(next)>());
+    op->chan->Transfer(next);
+  };
+  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
+  op->lun->Acquire(grant);
 }
+
+void Controller::ProgramArrayPhase(Op* op) {
+  // Array program: page register -> cells (LUN busy, bus free).
+  auto next = [this, op] { FinishProgram(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  sim_->Schedule(config_.timing.program_ns, next);
+}
+
+void Controller::FinishProgram(Op* op) {
+  op->lun->Release();
+  if (op->epoch != epoch_) {  // power-cycled away
+    ReleaseOp(op);
+    return;
+  }
+  Status st = flash_.Program(op->src, op->data);
+  program_latency_.Record(sim_->Now() - op->start);
+  const auto& t = config_.timing;
+  flash_.mutable_counters()->Add(
+      "energy_nj",
+      t.program_energy_nj +
+          t.transfer_nj_per_kib * config_.geometry.page_size_bytes / 1024);
+  OpCallback cb = std::move(op->op_cb);
+  ReleaseOp(op);
+  cb(std::move(st));
+}
+
+// --- Copyback: [channel: cmd] then in-die [array read + program] -------
 
 void Controller::CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
                               OpCallback on_done) {
@@ -99,58 +153,89 @@ void Controller::CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
     });
     return;
   }
-  const SimTime start = sim_->Now();
-  const std::uint64_t epoch = epoch_;
-  sim::Resource* lun = unit_for(src);
-  Channel* chan = channels_[src.channel].get();
+  Op* op = AcquireOp();
+  op->src = src;
+  op->dst = dst;
+  op->start = sim_->Now();
+  op->epoch = epoch_;
+  op->lun = unit_for(src);
+  op->chan = channels_[src.channel].get();
+  op->op_cb = std::move(on_done);
   // Command cycles on the bus, then array read + array program back to
   // back inside the die; no data transfer.
-  lun->Acquire([this, src, dst, lun, chan, start, epoch,
-                on_done = std::move(on_done)]() mutable {
-    chan->Command([this, src, dst, lun, start, epoch,
-                   on_done = std::move(on_done)]() mutable {
-      const SimTime busy =
-          config_.timing.read_ns + config_.timing.program_ns;
-      sim_->Schedule(busy, [this, src, dst, lun, start, epoch,
-                            on_done = std::move(on_done)]() {
-        lun->Release();
-        if (epoch != epoch_) return;  // power-cycled away
-        auto data = flash_.Peek(src);  // in-die move: no ECC path
-        Status st = data.ok() ? flash_.Program(dst, *data) : data.status();
-        program_latency_.Record(sim_->Now() - start);
-        flash_.mutable_counters()->Increment("copybacks");
-        flash_.mutable_counters()->Add(
-            "energy_nj", config_.timing.read_energy_nj +
-                             config_.timing.program_energy_nj);
-        on_done(std::move(st));
-      });
-    });
-  });
+  auto grant = [this, op] {
+    auto next = [this, op] { CopybackBusyPhase(op); };
+    static_assert(sim::InplaceCallback::fits<decltype(next)>());
+    op->chan->Command(next);
+  };
+  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
+  op->lun->Acquire(grant);
 }
+
+void Controller::CopybackBusyPhase(Op* op) {
+  const SimTime busy = config_.timing.read_ns + config_.timing.program_ns;
+  auto next = [this, op] { FinishCopyback(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  sim_->Schedule(busy, next);
+}
+
+void Controller::FinishCopyback(Op* op) {
+  op->lun->Release();
+  if (op->epoch != epoch_) {  // power-cycled away
+    ReleaseOp(op);
+    return;
+  }
+  auto data = flash_.Peek(op->src);  // in-die move: no ECC path
+  Status st = data.ok() ? flash_.Program(op->dst, *data) : data.status();
+  program_latency_.Record(sim_->Now() - op->start);
+  flash_.mutable_counters()->Increment("copybacks");
+  flash_.mutable_counters()->Add(
+      "energy_nj",
+      config_.timing.read_energy_nj + config_.timing.program_energy_nj);
+  OpCallback cb = std::move(op->op_cb);
+  ReleaseOp(op);
+  cb(std::move(st));
+}
+
+// --- Erase: [channel: cmd] then [LUN: block erase] ---------------------
 
 void Controller::EraseBlock(const flash::BlockAddr& addr,
                             OpCallback on_done) {
-  const SimTime start = sim_->Now();
-  const std::uint64_t epoch = epoch_;
-  sim::Resource* lun = unit_for(addr);
-  Channel* chan = channels_[addr.channel].get();
-  lun->Acquire([this, addr, lun, chan, start, epoch,
-                on_done = std::move(on_done)]() mutable {
-    chan->Command([this, addr, lun, start, epoch,
-                   on_done = std::move(on_done)]() mutable {
-      sim_->Schedule(config_.timing.erase_ns,
-                     [this, addr, lun, start, epoch,
-                      on_done = std::move(on_done)]() {
-                       lun->Release();
-                       if (epoch != epoch_) return;  // power-cycled away
-                       Status st = flash_.Erase(addr);
-                       erase_latency_.Record(sim_->Now() - start);
-                       flash_.mutable_counters()->Add(
-                           "energy_nj", config_.timing.erase_energy_nj);
-                       on_done(std::move(st));
-                     });
-    });
-  });
+  Op* op = AcquireOp();
+  op->src = flash::Ppa{addr.channel, addr.lun, addr.plane, addr.block, 0};
+  op->start = sim_->Now();
+  op->epoch = epoch_;
+  op->lun = unit_for(addr);
+  op->chan = channels_[addr.channel].get();
+  op->op_cb = std::move(on_done);
+  auto grant = [this, op] {
+    auto next = [this, op] { EraseBusyPhase(op); };
+    static_assert(sim::InplaceCallback::fits<decltype(next)>());
+    op->chan->Command(next);
+  };
+  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
+  op->lun->Acquire(grant);
+}
+
+void Controller::EraseBusyPhase(Op* op) {
+  auto next = [this, op] { FinishErase(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  sim_->Schedule(config_.timing.erase_ns, next);
+}
+
+void Controller::FinishErase(Op* op) {
+  op->lun->Release();
+  if (op->epoch != epoch_) {  // power-cycled away
+    ReleaseOp(op);
+    return;
+  }
+  Status st = flash_.Erase(op->src.Block());
+  erase_latency_.Record(sim_->Now() - op->start);
+  flash_.mutable_counters()->Add("energy_nj",
+                                 config_.timing.erase_energy_nj);
+  OpCallback cb = std::move(op->op_cb);
+  ReleaseOp(op);
+  cb(std::move(st));
 }
 
 }  // namespace postblock::ssd

@@ -104,6 +104,36 @@ class Controller {
   void PowerCycle() { ++epoch_; }
 
  private:
+  /// Per-operation state, pooled and recycled. Scheduling lambdas on the
+  /// read/program/copyback/erase paths capture only {this, Op*}, which
+  /// keeps them inside InplaceCallback's inline buffer — the controller
+  /// schedules millions of events per simulated second without touching
+  /// the allocator.
+  struct Op {
+    flash::Ppa src;
+    flash::Ppa dst;  // copyback destination
+    flash::PageData data;
+    SimTime start = 0;
+    std::uint64_t epoch = 0;
+    sim::Resource* lun = nullptr;
+    Channel* chan = nullptr;
+    ReadCallback read_cb;
+    OpCallback op_cb;
+  };
+
+  Op* AcquireOp();
+  void ReleaseOp(Op* op);
+
+  void ReadArrayPhase(Op* op);
+  void ReadTransferPhase(Op* op);
+  void FinishRead(Op* op);
+  void ProgramArrayPhase(Op* op);
+  void FinishProgram(Op* op);
+  void CopybackBusyPhase(Op* op);
+  void FinishCopyback(Op* op);
+  void EraseBusyPhase(Op* op);
+  void FinishErase(Op* op);
+
   std::uint32_t UnitIndex(std::uint32_t global_lun,
                           std::uint32_t plane) const {
     return global_lun * units_per_lun_ + plane % units_per_lun_;
@@ -116,6 +146,9 @@ class Controller {
   std::uint32_t units_per_lun_ = 1;
   std::vector<std::unique_ptr<sim::Resource>> units_;
   std::uint64_t epoch_ = 0;
+
+  std::vector<std::unique_ptr<Op>> ops_;  // owns every Op ever created
+  std::vector<Op*> op_free_;              // recycled records
 
   Histogram read_latency_;
   Histogram program_latency_;

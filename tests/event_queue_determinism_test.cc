@@ -1,0 +1,165 @@
+// Property test: the timing-wheel EventQueue must pop the exact (time,
+// insertion-order) sequence of the original binary-heap implementation,
+// kept as ReferenceEventQueue. This is the determinism contract the
+// whole repo leans on — every bench's final Now() and stats are only
+// reproducible if the event core's tie-breaks never change.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+#include "sim/reference_event_queue.h"
+
+namespace postblock::sim {
+namespace {
+
+constexpr SimTime kHorizon = 1ull << 36;  // 64^6 ns: wheel coverage
+
+struct PopRecord {
+  SimTime when;
+  std::uint64_t id;
+  bool operator==(const PopRecord&) const = default;
+};
+
+/// Delay mixture covering every queue path: heavy same-timestamp ties,
+/// short and medium delays across wheel levels, and a tail past the
+/// wheel horizon that must overflow into the sorted map.
+SimTime DrawDelay(std::mt19937_64& rng) {
+  switch (rng() % 100) {
+    case 0:  // beyond the horizon: overflow map
+      return kHorizon + rng() % (2 * kHorizon);
+    case 1:
+    case 2:  // coarse levels
+      return rng() % (kHorizon / 4);
+    default: {
+      const auto r = rng() % 97;
+      if (r < 30) return 0;  // same-timestamp burst
+      if (r < 70) return rng() % 256;
+      return rng() % 1'000'000;
+    }
+  }
+}
+
+/// Drives both queues through an identical randomized push/pop
+/// interleaving and compares the full (when, id) pop sequences.
+void RunInterleaving(std::uint64_t seed, std::uint64_t pushes) {
+  std::mt19937_64 rng(seed);
+  EventQueue wheel;
+  ReferenceEventQueue ref;
+  std::vector<PopRecord> wheel_log, ref_log;
+  wheel_log.reserve(pushes);
+  ref_log.reserve(pushes);
+
+  SimTime now = 0;  // time of the most recently popped event
+  std::uint64_t next_id = 0;
+  std::uint64_t pushed = 0;
+
+  const auto pop_both = [&] {
+    const SimTime tw = wheel.NextTime();
+    const SimTime tr = ref.NextTime();
+    ASSERT_EQ(tw, tr) << "NextTime diverged after "
+                      << wheel_log.size() << " pops";
+    now = tw;
+    auto wcb = wheel.Pop();
+    auto rcb = ref.Pop();
+    wcb();
+    rcb();
+  };
+
+  while (pushed < pushes || !wheel.empty()) {
+    const bool can_push = pushed < pushes;
+    const bool must_pop = !can_push || wheel.size() > 50'000;
+    if (!must_pop && (wheel.empty() || rng() % 3 != 0)) {
+      // Timestamps never precede the last popped event, mirroring how
+      // Simulator only schedules relative to Now().
+      const SimTime when = now + DrawDelay(rng);
+      const std::uint64_t id = next_id++;
+      wheel.Push(when, [&wheel_log, when, id] {
+        wheel_log.push_back({when, id});
+      });
+      ref.Push(when, [&ref_log, when, id] {
+        ref_log.push_back({when, id});
+      });
+      ++pushed;
+    } else {
+      ASSERT_NO_FATAL_FAILURE(pop_both());
+    }
+  }
+
+  ASSERT_TRUE(ref.empty());
+  ASSERT_EQ(wheel_log.size(), pushes);
+  ASSERT_EQ(wheel_log, ref_log) << "pop sequences diverged (seed "
+                                << seed << ")";
+}
+
+TEST(EventQueueDeterminismTest, MillionRandomizedPushesMatchReference) {
+  RunInterleaving(/*seed=*/0x5eed'0001, /*pushes=*/1'000'000);
+}
+
+TEST(EventQueueDeterminismTest, MoreSeedsSmallerRuns) {
+  for (std::uint64_t seed : {42ull, 7ull, 0xdeadbeefull}) {
+    RunInterleaving(seed, /*pushes=*/50'000);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(EventQueueDeterminismTest, SameTimestampBurstPopsInPushOrder) {
+  EventQueue q;
+  std::vector<std::uint64_t> order;
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    q.Push(500, [&order, id] { order.push_back(id); });
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.NextTime(), 500u);
+    q.Pop()();
+  }
+  for (std::uint64_t id = 0; id < order.size(); ++id) {
+    ASSERT_EQ(order[id], id);
+  }
+}
+
+TEST(EventQueueDeterminismTest, FarFutureEventsKeepPushOrderTies) {
+  // Two events past the horizon at the same timestamp, pushed around a
+  // near event: overflow handling must preserve push order on the tie.
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime far = 3 * kHorizon + 17;
+  q.Push(far, [&order] { order.push_back(1); });
+  q.Push(5, [&order] { order.push_back(0); });
+  q.Push(far, [&order] { order.push_back(2); });
+  while (!q.empty()) q.Pop()();
+  ASSERT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueDeterminismTest, PastPushClampsToLastPoppedTime) {
+  EventQueue q;
+  SimTime seen = 0;
+  q.Push(100, [] {});
+  EXPECT_EQ(q.NextTime(), 100u);
+  q.Pop()();
+  q.Push(10, [&q, &seen] { seen = q.size(); });  // in the past: clamps
+  EXPECT_EQ(q.NextTime(), 100u);
+  q.Pop()();
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(EventQueueDeterminismTest, NextTimeIsIdempotent) {
+  // NextTime advances internal cursors; repeated calls must still
+  // report the same timestamp until the event is popped.
+  EventQueue q;
+  q.Push(2 * kHorizon + 3, [] {});  // overflow path
+  q.Push(4096, [] {});              // coarse level
+  EXPECT_EQ(q.NextTime(), 4096u);
+  EXPECT_EQ(q.NextTime(), 4096u);
+  q.Pop()();
+  EXPECT_EQ(q.NextTime(), 2 * kHorizon + 3);
+  EXPECT_EQ(q.NextTime(), 2 * kHorizon + 3);
+}
+
+}  // namespace
+}  // namespace postblock::sim

@@ -92,14 +92,41 @@ TEST(SimulatorTest, RunUntilPredicateFalseWhenQueueDrains) {
   EXPECT_FALSE(sim.RunUntilPredicate([] { return false; }));
 }
 
-TEST(SimulatorTest, ScheduleAtClampsPastTimes) {
+// Scheduling at an absolute timestamp already in the past is a latent
+// time bug. Debug builds assert; release builds clamp to Now() and
+// count the incident in the sim.schedule_clamped stat.
+#ifdef NDEBUG
+TEST(SimulatorTest, ScheduleAtClampsPastTimesAndCountsThem) {
   Simulator sim;
   sim.Schedule(100, [] {});
   sim.Run();
+  EXPECT_EQ(sim.schedule_clamped(), 0u);
   SimTime seen = 0;
   sim.ScheduleAt(10, [&] { seen = sim.Now(); });  // in the past
+  EXPECT_EQ(sim.schedule_clamped(), 1u);
   sim.Run();
   EXPECT_EQ(seen, 100u);
+}
+#else
+TEST(SimulatorDeathTest, ScheduleAtInThePastAsserts) {
+  Simulator sim;
+  sim.Schedule(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.ScheduleAt(10, [] {}), "timestamp in the past");
+}
+#endif
+
+TEST(SimulatorTest, ScheduleAtPresentOrFutureDoesNotCountClamps) {
+  Simulator sim;
+  sim.Schedule(50, [] {});
+  sim.Run();
+  SimTime seen = 0;
+  sim.ScheduleAt(sim.Now(), [&] { seen = sim.Now(); });  // exactly now: ok
+  sim.ScheduleAt(200, [] {});
+  sim.Run();
+  EXPECT_EQ(seen, 50u);
+  EXPECT_EQ(sim.Now(), 200u);
+  EXPECT_EQ(sim.schedule_clamped(), 0u);
 }
 
 TEST(SimulatorTest, CountsEvents) {
