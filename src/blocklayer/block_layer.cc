@@ -115,7 +115,19 @@ void BlockLayer::FinishIo(IoState* st) {
 void BlockLayer::PowerCycle() {
   ++epoch_;
   for (auto& pair : queues_) {
-    while (!pair.scheduler->empty()) (void)pair.scheduler->Dequeue();
+    while (!pair.scheduler->empty()) {
+      // Each queued request's on_complete is the OnDeviceComplete
+      // wrapper holding a pooled IoState. Run it under the already
+      // bumped epoch: the stale-epoch check returns the IoState to the
+      // pool without touching `outstanding` or the caller's callback,
+      // so dropped requests don't orphan their pooled state.
+      IoRequest r = pair.scheduler->Dequeue();
+      if (r.on_complete) {
+        IoResult dropped;
+        dropped.status = Status::Unavailable("dropped by power cycle");
+        r.on_complete(dropped);
+      }
+    }
     pair.outstanding = 0;
   }
 }

@@ -58,8 +58,16 @@ class BlockLayer : public BlockDevice {
   double CpuUtilization() const { return cpu_.Utilization(); }
 
   /// Simulates power loss / host reset: queued and in-flight requests
-  /// are dropped without completing.
+  /// are dropped without completing (their pooled IoStates are
+  /// reclaimed — scheduler-resident ones immediately, in-flight ones
+  /// when their stale completion arrives).
   void PowerCycle();
+
+  /// IoState pool accounting, for tests: records ever allocated and
+  /// records currently recycled. Equal when no IO is in flight — a gap
+  /// at quiescence means pooled state leaked.
+  std::size_t io_states_allocated() const { return io_states_.size(); }
+  std::size_t io_states_free() const { return io_free_.size(); }
 
  private:
   struct QueuePair {

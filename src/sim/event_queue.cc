@@ -67,8 +67,13 @@ void EventQueue::EnsureDrainSlotSorted(std::vector<Entry>& slot) {
   sorted_slot_time_ = cur_;
 }
 
-SimTime EventQueue::NextTime() {
-  assert(size_ > 0);
+/// Shared search core. Walks the wheel toward the earliest pending
+/// event, but commits cur_ only to positions <= `bound`: if the
+/// earliest event (or the next slot/overflow hop toward it) lies past
+/// `bound`, returns false with cur_ untouched by that final hop. That
+/// keeps a deadline-bounded peek from dragging the Push clamp forward
+/// to a far-future event. Requires size_ > 0.
+bool EventQueue::AdvanceWithin(SimTime bound, SimTime* when) {
   for (;;) {
     // 1) Cascade occupied slots covering cur_, coarsest first, so every
     //    event due in cur_'s level-0 block is actually at level 0. New
@@ -89,13 +94,17 @@ SimTime EventQueue::NextTime() {
           static_cast<unsigned>(std::countr_zero(occupied_[0]));
       const SimTime t = (cur_ & ~kSlotMask) | idx;
       assert(t >= cur_);
+      if (t > bound) return false;
       cur_ = t;
       EnsureDrainSlotSorted(slots_[0][idx]);
-      return t;
+      *when = t;
+      return true;
     }
     // 2) Jump to the earliest future slot of the finest nonempty level
     //    (finer levels always precede coarser ones in time); the next
-    //    pass cascades it as a covering slot.
+    //    pass cascades it as a covering slot. The slot base is a lower
+    //    bound on every event in it, so a base past `bound` proves
+    //    nothing is due.
     bool advanced = false;
     for (int level = 1; level < kLevels; ++level) {
       if (occupied_[level] == 0) continue;
@@ -103,14 +112,34 @@ SimTime EventQueue::NextTime() {
           static_cast<unsigned>(std::countr_zero(occupied_[level]));
       const SimTime block_base = HighBits(cur_, level)
                                  << (kSlotBits * (level + 1));
-      cur_ = block_base + (SimTime{idx} << (kSlotBits * level));
+      const SimTime target =
+          block_base + (SimTime{idx} << (kSlotBits * level));
+      if (target > bound) return false;
+      cur_ = target;
       advanced = true;
       break;
     }
     if (advanced) continue;
-    // 3) Wheel drained entirely: feed the next overflow block in.
+    // 3) Wheel drained entirely: feed the next overflow block in — but
+    //    not when even the earliest overflow event is past `bound`.
+    if (overflow_.begin()->first > bound) return false;
     PullOverflowBlock();
   }
+}
+
+SimTime EventQueue::NextTime() {
+  assert(size_ > 0);
+  SimTime t = 0;
+  const bool found = AdvanceWithin(~SimTime{0}, &t);
+  assert(found);
+  (void)found;
+  return t;
+}
+
+bool EventQueue::HasEventAtOrBefore(SimTime bound) {
+  if (size_ == 0) return false;
+  SimTime t = 0;
+  return AdvanceWithin(bound, &t);
 }
 
 EventQueue::Callback EventQueue::Pop() {

@@ -24,11 +24,15 @@ namespace postblock::sim {
 /// map and are fed back into the wheel as time advances.
 ///
 /// Contract: timestamps must not go backwards — Push(when) with `when`
-/// earlier than the timestamp of the most recently popped event is
-/// clamped to it (the same clamp Simulator applies against Now()). The
-/// pop order is exactly (when, push order), bit-identical to a binary
-/// heap keyed on (when, seq); tests/event_queue_determinism_test.cc
-/// holds the two implementations to that.
+/// earlier than the wheel position is clamped to it (the same clamp
+/// Simulator applies against Now()). The wheel position advances to a
+/// timestamp only when NextTime() commits to it or HasEventAtOrBefore()
+/// clears a bound at or past it, so a deadline-bounded caller
+/// (Simulator::RunUntil) can keep scheduling between its deadline and a
+/// far-future pending event without hitting the clamp. The pop order is
+/// exactly (when, push order), bit-identical to a binary heap keyed on
+/// (when, seq); tests/event_queue_determinism_test.cc holds the two
+/// implementations to that.
 class EventQueue {
  public:
   using Callback = InplaceCallback;
@@ -40,7 +44,8 @@ class EventQueue {
 
   EventQueue();
 
-  /// Enqueues `f` at `when` (clamped to the last popped timestamp).
+  /// Enqueues `f` at `when` (clamped to the wheel position, i.e. never
+  /// earlier than the last popped timestamp).
   /// Templated so the callback is constructed directly inside the slot
   /// entry — no intermediate InplaceCallback moves on the push path.
   template <typename F>
@@ -56,7 +61,19 @@ class EventQueue {
   /// Timestamp of the earliest pending event. Requires !empty().
   /// Advances internal wheel cursors (cascading coarse slots down), so
   /// it is not const; the observable pop sequence is unaffected.
+  /// Commits the wheel position to the returned timestamp: a subsequent
+  /// Push below it clamps up to it. Callers that only want to know
+  /// whether anything is due by a deadline must use HasEventAtOrBefore.
   SimTime NextTime();
+
+  /// True iff the earliest pending event's timestamp is <= `bound`
+  /// (false on an empty queue). Unlike NextTime(), never advances the
+  /// wheel position past `bound`, so after a false return every
+  /// Push(when) with `when` >= `bound` keeps its exact timestamp even
+  /// if it precedes all pending events — the peek Simulator::RunUntil
+  /// needs so work scheduled after the deadline is not deferred to (and
+  /// reordered after) a stale far-future event.
+  bool HasEventAtOrBefore(SimTime bound);
 
   /// Removes and returns the earliest event's callback. Requires !empty().
   Callback Pop();
@@ -78,6 +95,7 @@ class EventQueue {
   void CascadeSlot(int level, unsigned idx);
   void PullOverflowBlock();
   void EnsureDrainSlotSorted(std::vector<Entry>& slot);
+  bool AdvanceWithin(SimTime bound, SimTime* when);
 
   std::vector<Entry> slots_[kLevels][kSlots];
   std::uint64_t occupied_[kLevels] = {};  // bitmap of nonempty slots

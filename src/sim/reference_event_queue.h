@@ -27,6 +27,13 @@ class ReferenceEventQueue {
   /// Timestamp of the earliest pending event. Requires !empty().
   SimTime NextTime() const { return heap_.top().when; }
 
+  /// True iff the earliest pending event's timestamp is <= `bound`.
+  /// Mirrors EventQueue::HasEventAtOrBefore so the determinism test can
+  /// interleave deadline-bounded peeks on both implementations.
+  bool HasEventAtOrBefore(SimTime bound) const {
+    return !heap_.empty() && heap_.top().when <= bound;
+  }
+
   /// Removes and returns the earliest event's callback. Requires !empty().
   Callback Pop();
 

@@ -58,32 +58,25 @@ void Resource::Release() {
   AccrueBusy();
   if (!waiters_.empty()) {
     // Hand the slot directly to the next waiter without ever marking it
-    // free: a new Acquire arriving before the drain event fires must
-    // queue behind existing waiters (strict FCFS), not jump in. One
-    // shared zero-delay drain grants every slot released at this
-    // timestamp, keeping long grant chains iterative and letting a
-    // single event retire a whole batch of handoffs.
+    // free: a new Acquire arriving before the grant event fires must
+    // queue behind existing waiters (strict FCFS), not jump in. Each
+    // release schedules its own zero-delay grant — the same one event
+    // per handoff the heap-based core produced, so two releases at one
+    // timestamp stay interleaved with whatever else was scheduled
+    // between them. Parking the waiter in ready_ (instead of capturing
+    // it) keeps the event's capture to `this` — inline, no allocation —
+    // and keeps long grant chains iterative.
     ready_.push_back(waiters_.pop_front());
-    if (!drain_scheduled_) {
-      drain_scheduled_ = true;
-      sim_->Schedule(0, [this] { DrainReady(); });
-    }
+    sim_->Schedule(0, [this] { GrantNextReady(); });
     return;
   }
   --in_use_;
 }
 
-void Resource::DrainReady() {
-  drain_scheduled_ = false;
-  // Grant only the waiters ready at entry: a grant can release again,
-  // which appends to ready_ and schedules a fresh drain — mirroring the
-  // one-event-per-handoff order the heap-based core used.
-  const std::size_t n = ready_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    GrantTo(std::move(ready_[i]));
-  }
-  ready_.erase(ready_.begin(),
-               ready_.begin() + static_cast<std::ptrdiff_t>(n));
+void Resource::GrantNextReady() {
+  // Exactly one grant event is in flight per ready_ entry, and events
+  // fire in schedule order, so the front entry is this event's waiter.
+  GrantTo(ready_.pop_front());
 }
 
 void Resource::GrantTo(Waiter w) {

@@ -20,10 +20,12 @@ namespace postblock::sim {
 /// chip-bound distinction, Figure 1).
 ///
 /// Grants are InplaceCallback (no heap traffic for pointer-sized
-/// captures), waiters live in a recycled ring buffer, and slot handoffs
-/// are batched: each release moves the next waiter to a ready list and a
-/// single zero-delay drain event grants every ready waiter, so one
-/// event can retire many queued completions.
+/// captures) and waiters live in recycled ring buffers. Each release
+/// hands its slot to the next waiter via its own zero-delay grant event
+/// — one event per handoff, exactly the heap-core event shape, so
+/// releases at the same timestamp stay interleaved with unrelated
+/// events scheduled between them. The carried waiter parks in a ready
+/// ring so the grant event captures only `this` and stays inline.
 class Resource {
  public:
   using Grant = InplaceCallback;
@@ -40,7 +42,7 @@ class Resource {
 
   /// Releases one held slot. If waiters are queued, the slot is carried
   /// directly to the next one (never marked free — strict FCFS) and
-  /// granted by the shared zero-delay drain event.
+  /// granted by a zero-delay event scheduled by this release.
   void Release();
 
   /// Convenience: acquire, hold for `duration`, release, then run `done`.
@@ -89,7 +91,7 @@ class Resource {
   };
 
   void GrantTo(Waiter w);
-  void DrainReady();
+  void GrantNextReady();
   UseOp* AcquireUseOp();
   void ReleaseUseOp(UseOp* op);
 
@@ -98,10 +100,10 @@ class Resource {
   int capacity_;
   int in_use_ = 0;
   WaiterRing waiters_;
-  /// Waiters whose slot has been carried over by Release(), awaiting the
-  /// drain event. Granted strictly in release order.
-  std::vector<Waiter> ready_;
-  bool drain_scheduled_ = false;
+  /// Waiters whose slot has been carried over by Release(), each
+  /// awaiting its own grant event. Granted strictly in release order
+  /// (one event per entry, scheduled by the release that carried it).
+  WaiterRing ready_;
 
   std::vector<std::unique_ptr<UseOp>> use_ops_;  // owns every UseOp
   std::vector<UseOp*> use_op_free_;              // recycled records

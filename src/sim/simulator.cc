@@ -18,7 +18,12 @@ SimTime Simulator::Run() {
 }
 
 SimTime Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.NextTime() <= deadline) {
+  // HasEventAtOrBefore, not NextTime: a plain peek would commit the
+  // queue's wheel position to the earliest pending event even when it
+  // is past the deadline, and anything scheduled afterwards between the
+  // deadline and that event would be clamped onto (and ordered after)
+  // it. The bounded peek never advances the wheel past `deadline`.
+  while (queue_.HasEventAtOrBefore(deadline)) {
     Step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -54,6 +54,10 @@ class Simulator {
 
   /// Runs events with timestamp <= deadline; leaves later events queued.
   /// The clock is advanced to `deadline` even if the queue drains early.
+  /// Work scheduled after RunUntil returns keeps its exact timestamp
+  /// even when it lands before the earliest still-pending event (the
+  /// deadline check uses a bounded peek that never commits the event
+  /// queue past `deadline`).
   SimTime RunUntil(SimTime deadline);
 
   /// Runs until `pred()` becomes true (checked after each event) or the

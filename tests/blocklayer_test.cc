@@ -277,6 +277,34 @@ TEST(BlockLayerTest, CpuUtilizationReported) {
   EXPECT_EQ(layer.counters().Get("completed"), 1u);
 }
 
+TEST(BlockLayerTest, PowerCycleReclaimsPooledIoStates) {
+  // Requests resident in the scheduler at power-cycle time are dropped
+  // without completing, but their pooled IoStates must return to the
+  // free list — a leak here grows the pool on every crash test cycle.
+  sim::Simulator sim;
+  SimpleBlockDevice dev(&sim, FastDevice());
+  BlockLayerConfig cfg;
+  cfg.queue_depth = 2;  // keep most requests scheduler-resident
+  BlockLayer layer(&sim, &dev, cfg);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    IoRequest r;
+    r.op = IoOp::kRead;
+    r.lba = static_cast<Lba>(i * 2);  // avoid merges
+    r.nblocks = 1;
+    r.on_complete = [&](const IoResult&) { ++completed; };
+    layer.Submit(std::move(r));
+  }
+  // Far enough for submissions to queue, short of any device completion.
+  sim.RunUntil(10 * kMicrosecond);
+  ASSERT_FALSE(layer.scheduler(0).empty());
+  layer.PowerCycle();
+  sim.Run();
+  EXPECT_EQ(completed, 0);  // dropped IOs never reach the caller
+  EXPECT_EQ(layer.io_states_allocated(), 10u);
+  EXPECT_EQ(layer.io_states_free(), layer.io_states_allocated());
+}
+
 // --- DirectDriver -----------------------------------------------------------
 
 TEST(DirectDriverTest, LowerOverheadThanBlockLayer) {

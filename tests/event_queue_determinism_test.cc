@@ -72,6 +72,24 @@ void RunInterleaving(std::uint64_t seed, std::uint64_t pushes) {
   };
 
   while (pushed < pushes || !wheel.empty()) {
+    if (rng() % 16 == 0) {
+      // Deadline-bounded peek, as Simulator::RunUntil issues. Both
+      // implementations must agree; on a hit RunUntil pops the event,
+      // on a miss it advances the clock to the deadline — mirror both,
+      // so later pushes may land *before* the earliest pending event
+      // (but at/after the cleared bound) and must still pop at their
+      // own timestamps, which the sequence comparison verifies.
+      const SimTime bound = now + DrawDelay(rng);
+      const bool due = wheel.HasEventAtOrBefore(bound);
+      ASSERT_EQ(due, ref.HasEventAtOrBefore(bound))
+          << "bounded peek diverged after " << wheel_log.size()
+          << " pops (bound " << bound << ")";
+      if (due) {
+        ASSERT_NO_FATAL_FAILURE(pop_both());
+        continue;
+      }
+      now = bound;
+    }
     const bool can_push = pushed < pushes;
     const bool must_pop = !can_push || wheel.size() > 50'000;
     if (!must_pop && (wheel.empty() || rng() % 3 != 0)) {
@@ -146,6 +164,55 @@ TEST(EventQueueDeterminismTest, PastPushClampsToLastPoppedTime) {
   EXPECT_EQ(q.NextTime(), 100u);
   q.Pop()();
   EXPECT_EQ(seen, 0u);
+}
+
+TEST(EventQueueDeterminismTest, BoundedPeekThenEarlierPushPopsAtOwnTime) {
+  // Regression: a deadline peek that misses must not commit the wheel
+  // to the far-future pending event — an event pushed afterwards at an
+  // earlier timestamp has to pop first, at its own time, not be
+  // silently deferred onto the stale event.
+  EventQueue q;
+  std::vector<SimTime> order;
+  q.Push(1000, [&order] { order.push_back(1000); });
+  EXPECT_FALSE(q.HasEventAtOrBefore(10));
+  q.Push(100, [&order] { order.push_back(100); });
+  EXPECT_EQ(q.NextTime(), 100u);
+  q.Pop()();
+  EXPECT_EQ(q.NextTime(), 1000u);
+  q.Pop()();
+  EXPECT_EQ(order, (std::vector<SimTime>{100, 1000}));
+}
+
+TEST(EventQueueDeterminismTest, BoundedPeekAgainstOverflowEvent) {
+  // Same property when the only pending event sits in the overflow map:
+  // the miss must not pull the overflow block into the wheel.
+  EventQueue q;
+  std::vector<SimTime> order;
+  const SimTime far = 2 * kHorizon + 5;
+  q.Push(far, [&order, far] { order.push_back(far); });
+  EXPECT_FALSE(q.HasEventAtOrBefore(1'000'000));
+  q.Push(1'000'000, [&order] { order.push_back(1'000'000); });
+  EXPECT_EQ(q.NextTime(), 1'000'000u);
+  q.Pop()();
+  EXPECT_EQ(q.NextTime(), far);
+  q.Pop()();
+  EXPECT_EQ(order, (std::vector<SimTime>{1'000'000, far}));
+}
+
+TEST(EventQueueDeterminismTest, BoundedPeekPartialAdvanceKeepsLaterPushExact) {
+  // A miss may legitimately advance the wheel through intermediate slot
+  // hops that stay at or below the bound; pushes at/after the bound
+  // must still land exactly.
+  EventQueue q;
+  std::vector<SimTime> order;
+  q.Push(970, [&order] { order.push_back(970); });
+  EXPECT_FALSE(q.HasEventAtOrBefore(965));  // hops to slot base 960
+  q.Push(966, [&order] { order.push_back(966); });
+  EXPECT_TRUE(q.HasEventAtOrBefore(966));
+  EXPECT_EQ(q.NextTime(), 966u);
+  q.Pop()();
+  q.Pop()();
+  EXPECT_EQ(order, (std::vector<SimTime>{966, 970}));
 }
 
 TEST(EventQueueDeterminismTest, NextTimeIsIdempotent) {

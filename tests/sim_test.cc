@@ -1,3 +1,4 @@
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -71,6 +72,23 @@ TEST(SimulatorTest, RunUntilLeavesLaterEvents) {
   EXPECT_EQ(sim.pending_events(), 1u);
   sim.Run();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ScheduleAfterRunUntilKeepsEarlierTimestamps) {
+  // Regression: RunUntil's deadline check must not commit the event
+  // queue to a pending far-future event. Work scheduled after RunUntil
+  // returns, earlier than that event, runs first at its own timestamp
+  // (the pattern storage-manager crash tests use: stop short of a
+  // pending program completion, then schedule recovery work).
+  Simulator sim;
+  std::vector<SimTime> fired_at;
+  sim.Schedule(1000, [&] { fired_at.push_back(sim.Now()); });
+  sim.RunUntil(10);
+  EXPECT_EQ(sim.Now(), 10u);
+  sim.ScheduleAt(100, [&] { fired_at.push_back(sim.Now()); });
+  EXPECT_EQ(sim.schedule_clamped(), 0u);
+  sim.Run();
+  EXPECT_EQ(fired_at, (std::vector<SimTime>{100, 1000}));
 }
 
 TEST(SimulatorTest, RunUntilPredicateStopsEarly) {
@@ -206,6 +224,29 @@ TEST(ResourceTest, WaitHistogramRecordsQueueing) {
   sim.Run();
   EXPECT_EQ(r.wait_hist().count(), 2u);
   EXPECT_EQ(r.wait_hist().max(), 100u);
+}
+
+TEST(ResourceTest, SameTimestampReleasesInterleaveWithOtherEvents) {
+  // Two holders of a capacity-2 resource release at the same timestamp
+  // with an unrelated event scheduled between the two releases. Each
+  // release schedules its own grant event, so the grants interleave
+  // with the unrelated event in schedule order — the second grant must
+  // not be batched into the first release's event and jump ahead.
+  Simulator sim;
+  Resource r(&sim, "r", 2);
+  r.Acquire([] {});
+  r.Acquire([] {});
+  std::vector<std::string> order;
+  r.Acquire([&] { order.push_back("grant1"); });
+  r.Acquire([&] { order.push_back("grant2"); });
+  sim.Schedule(10, [&] {
+    r.Release();
+    sim.Schedule(0, [&] { order.push_back("unrelated"); });
+    r.Release();
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::string>{"grant1", "unrelated",
+                                             "grant2"}));
 }
 
 TEST(ResourceTest, LongGrantChainsDoNotOverflowStack) {
