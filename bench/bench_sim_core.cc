@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "bench/bench_util.h"
 #include "src/sim/reference_event_queue.h"
 #include "src/sim/simulator.h"
 
@@ -216,6 +217,7 @@ void EmitJson(const std::vector<Comparison>& rows, const char* path) {
     return;
   }
   std::fprintf(f, "{\n");
+  postblock::bench::WriteJsonMeta(f);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Comparison& c = rows[i];
     std::fprintf(

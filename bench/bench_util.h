@@ -14,6 +14,38 @@
 
 namespace postblock::bench {
 
+/// Short git SHA of the working tree, or "unknown" when git (or the
+/// repo) is unavailable — BENCH_*.json files carry it so a result can
+/// be matched to the code that produced it.
+inline std::string GitShaShort() {
+  std::string sha;
+  if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null",
+                             "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha = buf;
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+/// Writes the shared `"meta"` object (followed by a comma) into an open
+/// BENCH_*.json: git SHA, plus the device shape when a config is given.
+/// Consumers (scripts/check_perf.sh) skip the "meta" key when comparing
+/// runs.
+inline void WriteJsonMeta(std::FILE* f,
+                          const ssd::Config* config = nullptr) {
+  std::fprintf(f, "  \"meta\": {\"git_sha\": \"%s\"",
+               GitShaShort().c_str());
+  if (config != nullptr) {
+    std::fprintf(f, ", \"channels\": %u, \"chips\": %u",
+                 config->geometry.channels, config->geometry.luns());
+  }
+  std::fprintf(f, "},\n");
+}
+
 /// Prints the experiment banner: which paper artifact this regenerates
 /// and what shape the paper claims.
 inline void Banner(const std::string& id, const std::string& artifact,

@@ -10,6 +10,13 @@
 //
 //   $ ./trace_replay                    # built-in sample, page-map FTL
 //   $ ./trace_replay mytrace.txt hybrid
+//
+// --trace-out=PATH additionally records the replay with the latency
+// attribution subsystem and dumps a Chrome trace-event JSON — open it
+// in Perfetto (ui.perfetto.dev) or chrome://tracing to see every IO's
+// time split across queues, FTL, GC and flash:
+//
+//   $ ./trace_replay --trace-out=replay.trace.json
 
 #include <cstdio>
 #include <fstream>
@@ -21,6 +28,8 @@
 #include "common/table.h"
 #include "sim/simulator.h"
 #include "ssd/device.h"
+#include "trace/chrome_trace.h"
+#include "trace/tracer.h"
 #include "workload/zipf.h"
 
 using namespace postblock;
@@ -91,20 +100,43 @@ std::vector<TraceEntry> SampleTrace(std::uint64_t device_blocks) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Peel off --trace-out=PATH wherever it appears; the remaining
+  // positional args keep their old meaning (trace file, FTL kind).
+  std::string trace_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const std::string kFlag = "--trace-out=";
+    if (a.rfind(kFlag, 0) == 0) {
+      trace_out = a.substr(kFlag.size());
+      if (trace_out.empty()) {
+        std::fprintf(stderr, "--trace-out needs a path\n");
+        return 1;
+      }
+    } else {
+      args.push_back(a);
+    }
+  }
+
   sim::Simulator sim;
   ssd::Config cfg = ssd::Config::Consumer2012();
   cfg.write_buffer.pages = 128;
-  if (argc > 2) {
-    const std::string kind = argv[2];
+  if (args.size() > 1) {
+    const std::string& kind = args[1];
     if (kind == "block") cfg.ftl = ssd::FtlKind::kBlockMap;
     if (kind == "hybrid") cfg.ftl = ssd::FtlKind::kHybrid;
     if (kind == "dftl") cfg.ftl = ssd::FtlKind::kDftl;
   }
+  trace::Tracer tracer(1 << 20);
+  if (!trace_out.empty()) {
+    tracer.set_enabled(true);
+    cfg.tracer = &tracer;
+  }
   ssd::Device device(&sim, cfg);
 
   const std::vector<TraceEntry> trace =
-      argc > 1 ? LoadTrace(argv[1], device.num_blocks())
-               : SampleTrace(device.num_blocks());
+      !args.empty() ? LoadTrace(args[0], device.num_blocks())
+                    : SampleTrace(device.num_blocks());
   if (trace.empty()) {
     std::fprintf(stderr, "empty trace\n");
     return 1;
@@ -177,5 +209,22 @@ int main(int argc, char** argv) {
                   3) +
            " J"});
   table.Print();
+
+  if (!trace_out.empty()) {
+    const Status st = trace::WriteChromeTrace(tracer, trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", trace_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nwrote %s: %zu trace events (%llu recorded, %llu dropped by "
+        "the ring) — open in Perfetto (ui.perfetto.dev) or "
+        "chrome://tracing\n%s",
+        trace_out.c_str(), tracer.size(),
+        static_cast<unsigned long long>(tracer.total_recorded()),
+        static_cast<unsigned long long>(tracer.dropped()),
+        tracer.breakdown().Summary().c_str());
+  }
   return 0;
 }

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Event-core performance regression gate.
+# Performance regression gates.
 #
-# Builds Release, runs bench_sim_core (emits BENCH_sim_core.json), then
-# checks:
+# Builds Release, runs bench_sim_core (emits BENCH_sim_core.json) and
+# bench_trace_overhead (emits BENCH_trace_overhead.json), then checks:
 #   1. hard floors from the event-core rework: pingpong speedup >= 3x
 #      over the reference binary-heap core, and 0 heap allocations per
 #      event in steady state;
 #   2. events/sec against the committed baseline
 #      (bench/baselines/sim_core_baseline.json) within +-15%. A missing
 #      baseline is created from the current run (first-run bootstrap).
+#      The "meta" key (git SHA, device shape) is ignored when comparing;
+#   3. the tracing subsystem: a disabled tracer must cost <= 2% wall
+#      clock over the fig2 GC workload, and tracing in any mode must not
+#      perturb the simulated schedule.
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -19,11 +23,13 @@ BASELINE="bench/baselines/sim_core_baseline.json"
 TOLERANCE=0.15
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_sim_core -j "$(nproc)" \
-  >/dev/null
+cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
+  -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
+( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
+TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -52,8 +58,11 @@ if pp.get("wheel_allocs_per_event", 1.0) >= 0.005:
         f"pingpong wheel allocs/event {pp.get('wheel_allocs_per_event')} "
         "not ~0 (steady state must not allocate)")
 
-# Regression vs recorded baseline, +-15% on wheel events/sec.
+# Regression vs recorded baseline, +-15% on wheel events/sec. "meta"
+# (git SHA + device shape stamp) is provenance, not a measurement.
 for name, base in baseline.items():
+    if name == "meta":
+        continue
     cur = result.get(name)
     if cur is None:
         failures.append(f"workload '{name}' missing from current run")
@@ -74,4 +83,28 @@ if failures:
         print(f"  - {f}")
     sys.exit(1)
 print("check_perf: OK (within tolerance of baseline, floors met)")
+EOF
+
+python3 - "$TRACE_RESULT" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+failures = []
+
+if not result.get("deterministic", False):
+    failures.append(
+        "tracing perturbed the simulated schedule (runs not identical)")
+ovh = result.get("disabled", {}).get("overhead_vs_untraced", 1.0)
+if ovh > 0.02:
+    failures.append(
+        f"disabled-tracer overhead {ovh:.1%} exceeds the 2% budget")
+
+if failures:
+    print("check_perf: FAIL (trace overhead)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"check_perf: OK (disabled-tracer overhead {ovh:.1%} <= 2%, "
+      "schedule unperturbed)")
 EOF

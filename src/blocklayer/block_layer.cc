@@ -12,13 +12,19 @@ BlockLayer::BlockLayer(sim::Simulator* sim, BlockDevice* lower,
     : sim_(sim),
       lower_(lower),
       config_(config),
-      cpu_(sim, "host-cpu", static_cast<int>(config.cores)) {
+      cpu_(sim, "host-cpu", static_cast<int>(config.cores)),
+      tracer_(config.tracer) {
   queues_.reserve(config_.nr_queues);
   for (std::uint32_t q = 0; q < config_.nr_queues; ++q) {
     QueuePair pair;
     pair.scheduler = std::make_unique<IoScheduler>(config_.scheduler);
     pair.lock = std::make_unique<sim::Resource>(
         sim, "blkq-lock-" + std::to_string(q));
+    if (tracer_ != nullptr) {
+      q_tracks_.push_back(tracer_->RegisterTrack(
+          trace::kPidHost, "blkq-" + std::to_string(q)));
+      pair.scheduler->set_tracer(tracer_, q_tracks_.back(), sim_);
+    }
     queues_.push_back(std::move(pair));
   }
 }
@@ -47,6 +53,17 @@ void BlockLayer::Submit(IoRequest request) {
   st->epoch = epoch_;
   st->q = static_cast<std::uint32_t>(rr_++ % queues_.size());
   st->user_cb = std::move(request.on_complete);
+
+  // Trace identity: mint the root span if nobody above us did. Copies
+  // live in the IoState because `req` is moved into the scheduler.
+  st->root = false;
+  if (Traced() && request.span == 0) {
+    request.span = tracer_->NewSpan();
+    st->root = true;
+  }
+  st->span = request.span;
+  st->origin = OriginOf(request.op);
+  st->lba = request.lba;
 
   // Wrap the completion: device completion -> completion CPU cost
   // (interrupt or poll) -> caller. Dropped if the host reset meanwhile.
@@ -79,6 +96,12 @@ void BlockLayer::EnqueueLocked(IoState* st) {
     return;
   }
   const std::uint32_t q = st->q;
+  // Submission-side CPU + lock wait: everything since Submit().
+  if (Traced() && st->span != 0) {
+    tracer_->Record(trace::Stage::kSchedule, st->origin, st->span, 0,
+                    q_tracks_[q], st->start, sim_->Now(), st->lba);
+  }
+  st->req.enqueued_at = sim_->Now();
   queues_[q].scheduler->Enqueue(std::move(st->req));
   Dispatch(q);
 }
@@ -91,6 +114,7 @@ void BlockLayer::OnDeviceComplete(IoState* st, const IoResult& result) {
   --queues_[st->q].outstanding;
   Dispatch(st->q);
   st->result = result;
+  st->complete_t = sim_->Now();
   const SimTime cost = config_.interrupt_completion
                            ? config_.cpu.interrupt_ns
                            : config_.cpu.polled_ns;
@@ -106,6 +130,18 @@ void BlockLayer::FinishIo(IoState* st) {
   }
   latency_.Record(sim_->Now() - st->start);
   counters_.Increment("completed");
+  if (Traced() && st->span != 0) {
+    const std::uint32_t track = q_tracks_[st->q];
+    // Completion-side CPU (interrupt or poll) since device completion.
+    if (sim_->Now() > st->complete_t) {
+      tracer_->Record(trace::Stage::kSchedule, st->origin, st->span, 0,
+                      track, st->complete_t, sim_->Now(), st->lba);
+    }
+    if (st->root) {
+      tracer_->Record(trace::Stage::kIo, st->origin, st->span, 0, track,
+                      st->start, sim_->Now(), st->lba);
+    }
+  }
   IoCallback cb = std::move(st->user_cb);
   IoResult result = std::move(st->result);
   ReleaseIo(st);
@@ -140,6 +176,10 @@ void BlockLayer::Dispatch(std::uint32_t q) {
     // (OnDeviceComplete), which decrements `outstanding` and re-enters
     // Dispatch — no per-dispatch closure wrapping needed.
     IoRequest r = pair.scheduler->Dequeue();
+    if (Traced() && r.span != 0 && sim_->Now() > r.enqueued_at) {
+      tracer_->Record(trace::Stage::kQueueWait, OriginOf(r.op), r.span, 0,
+                      q_tracks_[q], r.enqueued_at, sim_->Now(), r.lba);
+    }
     ++pair.outstanding;
     lower_->Submit(std::move(r));
   }

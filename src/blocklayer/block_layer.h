@@ -13,6 +13,8 @@
 #include "common/stats.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
 
 namespace postblock::blocklayer {
 
@@ -28,6 +30,11 @@ struct BlockLayerConfig {
   SchedulerKind scheduler = SchedulerKind::kMerge;
   /// Completion by interrupt (true) or polling (false).
   bool interrupt_completion = true;
+  /// Optional latency-attribution tracer (see trace/). When set and
+  /// enabled, every IO's submit CPU, queue wait and completion CPU
+  /// become spans on a per-queue "blkq-N" track; when null or disabled
+  /// the hot path pays only a pointer test.
+  trace::Tracer* tracer = nullptr;
 };
 
 /// The Linux-style block layer: software queues feeding a lower
@@ -89,6 +96,12 @@ class BlockLayer : public BlockDevice {
     IoRequest req;
     IoCallback user_cb;
     IoResult result;
+    // Trace identity (stable copies — req is moved into the scheduler).
+    trace::SpanId span = 0;
+    trace::Origin origin = trace::Origin::kMeta;
+    bool root = false;  // this layer minted the span -> it records kIo
+    Lba lba = 0;
+    SimTime complete_t = 0;  // device completion (interrupt/poll start)
   };
 
   IoState* AcquireIo();
@@ -99,6 +112,8 @@ class BlockLayer : public BlockDevice {
   void OnDeviceComplete(IoState* st, const IoResult& result);
   void FinishIo(IoState* st);
   void Dispatch(std::uint32_t q);
+
+  bool Traced() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   sim::Simulator* sim_;
   BlockDevice* lower_;
@@ -111,6 +126,8 @@ class BlockLayer : public BlockDevice {
   std::vector<IoState*> io_free_;                    // recycled records
   Histogram latency_;
   Counters counters_;
+  trace::Tracer* tracer_;
+  std::vector<std::uint32_t> q_tracks_;  // "blkq-N" per queue pair
 };
 
 }  // namespace postblock::blocklayer

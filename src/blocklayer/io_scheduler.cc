@@ -19,6 +19,10 @@ void IoScheduler::Enqueue(IoRequest request) {
         tail.nblocks + request.nblocks <= max_merged_blocks_;
     if (contiguous) {
       counters_.Increment("back_merges");
+      if (tracer_ != nullptr && tracer_->enabled() && sim_ != nullptr) {
+        tracer_->Mark(trace::Stage::kSchedule, OriginOf(request.op),
+                      request.span, track_, sim_->Now(), request.lba);
+      }
       tail.nblocks += request.nblocks;
       for (auto t : request.tokens) tail.tokens.push_back(t);
       // Chain the completions: both submitters hear about the merged IO.

@@ -7,6 +7,8 @@
 
 #include "blocklayer/request.h"
 #include "common/stats.h"
+#include "sim/simulator.h"
+#include "trace/tracer.h"
 
 namespace postblock::blocklayer {
 
@@ -41,11 +43,24 @@ class IoScheduler {
 
   const Counters& counters() const { return counters_; }
 
+  /// Back-merges become zero-duration markers on `track` (arg = merged
+  /// request's LBA, span = the absorbed request's span), so a trace
+  /// shows which IOs were coalesced away.
+  void set_tracer(trace::Tracer* tracer, std::uint32_t track,
+                  sim::Simulator* sim) {
+    tracer_ = tracer;
+    track_ = track;
+    sim_ = sim;
+  }
+
  private:
   SchedulerKind kind_;
   std::uint32_t max_merged_blocks_;
   std::deque<IoRequest> queue_;
   Counters counters_;
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  sim::Simulator* sim_ = nullptr;
 };
 
 inline const char* SchedulerKindName(SchedulerKind kind) {

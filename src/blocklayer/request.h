@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "trace/trace.h"
 
 namespace postblock::blocklayer {
 
@@ -45,7 +46,29 @@ struct IoRequest {
   /// behind lazy page flushes.
   std::uint8_t priority = 0;
   IoCallback on_complete;
+  /// Trace identity. 0 = untraced; the topmost layer that sees 0 with an
+  /// enabled tracer mints the root span, lower layers inherit it, so a
+  /// stacked IO is one span across the whole path.
+  trace::SpanId span = 0;
+  /// When the request entered a software queue (set by the layer that
+  /// enqueues it; measures scheduler queueing delay).
+  SimTime enqueued_at = 0;
 };
+
+/// Maps a block-layer op onto its trace origin class.
+inline trace::Origin OriginOf(IoOp op) {
+  switch (op) {
+    case IoOp::kRead:
+      return trace::Origin::kHostRead;
+    case IoOp::kWrite:
+      return trace::Origin::kHostWrite;
+    case IoOp::kTrim:
+      return trace::Origin::kHostTrim;
+    case IoOp::kFlush:
+      return trace::Origin::kHostFlush;
+  }
+  return trace::Origin::kMeta;
+}
 
 inline const char* IoOpName(IoOp op) {
   switch (op) {

@@ -18,17 +18,38 @@ HybridStore::HybridStore(sim::Simulator* sim,
       log_region_start_(log_region_start),
       log_region_blocks_(log_region_blocks) {}
 
+void HybridStore::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    track_ = tracer_->RegisterTrack(trace::kPidHost, "sync-persist");
+  }
+}
+
 void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
-                              std::function<void(Status)> cb) {
+                              std::function<void(Status)> cb,
+                              trace::Ctx ctx) {
   const SimTime start = sim_->Now();
   counters_.Increment("sync_persists");
   counters_.Add("sync_bytes", record.size());
+  // Trace identity of this persist: inherit the caller's span or mint
+  // one, and record the whole commit-critical path as a kApp span when
+  // it completes. Classic mode threads the span through the write+flush
+  // below, so the trace shows what the block stack cost the commit.
+  trace::SpanId span = ctx.span;
+  if (tracer_ != nullptr && tracer_->enabled() && span == 0) {
+    span = tracer_->NewSpan();
+  }
   if (pcm_log_ != nullptr) {
-    pcm_log_->Append(std::move(record),
-                     [this, start, cb = std::move(cb)](StatusOr<Lsn> r) {
-                       sync_latency_.Record(sim_->Now() - start);
-                       cb(r.ok() ? Status::Ok() : r.status());
-                     });
+    pcm_log_->Append(
+        std::move(record),
+        [this, start, span, cb = std::move(cb)](StatusOr<Lsn> r) {
+          sync_latency_.Record(sim_->Now() - start);
+          if (tracer_ != nullptr && span != 0) {
+            tracer_->Record(trace::Stage::kApp, trace::Origin::kHostWrite,
+                            span, 0, track_, start, sim_->Now());
+          }
+          cb(r.ok() ? Status::Ok() : r.status());
+        });
     return;
   }
   // Classic: one whole log block per record (the interface has no
@@ -48,9 +69,10 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
   // Commit-critical: jumps lazy page flushes under a priority scheduler
   // (ref [13]).
   write.priority = 1;
+  write.span = span;
   auto record_ptr =
       std::make_shared<std::vector<std::uint8_t>>(std::move(record));
-  write.on_complete = [this, start, record_ptr, cb = std::move(cb)](
+  write.on_complete = [this, start, span, record_ptr, cb = std::move(cb)](
                           const blocklayer::IoResult& wr) mutable {
     if (!wr.status.ok()) {
       sync_latency_.Record(sim_->Now() - start);
@@ -60,9 +82,15 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
     blocklayer::IoRequest flush;
     flush.op = blocklayer::IoOp::kFlush;
     flush.nblocks = 1;
-    flush.on_complete = [this, start, record_ptr, cb = std::move(cb)](
+    flush.span = span;
+    flush.on_complete = [this, start, span, record_ptr,
+                         cb = std::move(cb)](
                             const blocklayer::IoResult& fr) {
       sync_latency_.Record(sim_->Now() - start);
+      if (tracer_ != nullptr && span != 0) {
+        tracer_->Record(trace::Stage::kApp, trace::Origin::kHostWrite,
+                        span, 0, track_, start, sim_->Now());
+      }
       if (fr.status.ok()) {
         // The record is now beyond the volatile cache: durable.
         classic_durable_.push_back(std::move(*record_ptr));

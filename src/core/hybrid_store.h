@@ -11,6 +11,8 @@
 #include "common/status.h"
 #include "core/pcm_log.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
 
 namespace postblock::core {
 
@@ -43,9 +45,16 @@ class HybridStore {
   bool vision_mode() const { return pcm_log_ != nullptr; }
 
   /// Durably persists one record; callback fires when it would survive
-  /// power loss.
+  /// power loss. `ctx` is the caller's trace identity (a WAL commit,
+  /// say); with a tracer attached the whole persist — including the
+  /// block-device write+flush of classic mode — becomes one kApp span.
   void SyncPersist(std::vector<std::uint8_t> record,
-                   std::function<void(Status)> cb);
+                   std::function<void(Status)> cb, trace::Ctx ctx = {});
+
+  /// Attaches latency attribution: sync persists are recorded on a
+  /// "sync-persist" track, and classic-mode log IOs carry the persist's
+  /// span down the block stack.
+  void set_tracer(trace::Tracer* tracer);
 
   /// Forwards to the data path.
   void SubmitAsync(blocklayer::IoRequest request);
@@ -80,6 +89,9 @@ class HybridStore {
 
   Histogram sync_latency_;
   Counters counters_;
+
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;  // "sync-persist" (host pid)
 };
 
 }  // namespace postblock::core

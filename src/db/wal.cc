@@ -54,10 +54,11 @@ bool DecodeBatch(const std::vector<std::uint8_t>& bytes, WalBatch* out) {
   return true;
 }
 
-void Wal::Commit(const WalBatch& batch, std::function<void(Status)> cb) {
+void Wal::Commit(const WalBatch& batch, std::function<void(Status)> cb,
+                 trace::Ctx ctx) {
   counters_.Increment("commits");
   counters_.Add("ops_logged", batch.ops.size());
-  store_->SyncPersist(EncodeBatch(batch), std::move(cb));
+  store_->SyncPersist(EncodeBatch(batch), std::move(cb), ctx);
 }
 
 std::vector<WalBatch> Wal::Recover() const {

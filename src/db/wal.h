@@ -36,8 +36,10 @@ class Wal {
  public:
   explicit Wal(core::HybridStore* store) : store_(store) {}
 
-  /// Appends a commit record; callback fires when durable.
-  void Commit(const WalBatch& batch, std::function<void(Status)> cb);
+  /// Appends a commit record; callback fires when durable. `ctx` links
+  /// the commit to a trace span (see core::HybridStore::SyncPersist).
+  void Commit(const WalBatch& batch, std::function<void(Status)> cb,
+              trace::Ctx ctx = {});
 
   /// Replays every durable batch in commit order (post-crash).
   std::vector<WalBatch> Recover() const;

@@ -10,6 +10,15 @@ FlashArray::FlashArray(const Geometry& geometry, const Timing& timing,
       store_(geometry),
       rng_(seed) {}
 
+void FlashArray::set_tracer(trace::Tracer* tracer, sim::Simulator* sim) {
+  tracer_ = tracer;
+  sim_ = sim;
+  if (tracer_ != nullptr) {
+    health_track_ =
+        tracer_->RegisterTrack(trace::kPidFlash, "flash-health");
+  }
+}
+
 Status FlashArray::Program(const Ppa& ppa, const PageData& data) {
   PB_RETURN_IF_ERROR(store_.Program(ppa, data));
   counters_.Increment("pages_programmed");
@@ -30,6 +39,10 @@ StatusOr<PageData> FlashArray::Read(const Ppa& ppa) {
       break;
     case ReadOutcome::kUncorrectable:
       counters_.Increment("reads_uncorrectable");
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Mark(trace::Stage::kCellOp, trace::Origin::kMeta, 0,
+                      health_track_, sim_->Now(), ppa.block);
+      }
       return Status::DataLoss("uncorrectable ECC error at " +
                               ppa.ToString());
   }
@@ -42,6 +55,10 @@ Status FlashArray::Erase(const BlockAddr& addr) {
   counters_.Increment("blocks_erased");
   if (error_model_.SampleEraseFailure(wear_before + 1, &rng_)) {
     counters_.Increment("erase_failures");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Mark(trace::Stage::kCellOp, trace::Origin::kMeta, 0,
+                    health_track_, sim_->Now(), addr.block);
+    }
     PB_RETURN_IF_ERROR(store_.MarkBad(addr));
     return Status::DataLoss("erase failure retired block " +
                             addr.ToString());

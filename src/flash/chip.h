@@ -11,6 +11,9 @@
 #include "flash/geometry.h"
 #include "flash/page_store.h"
 #include "flash/timing.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
 
 namespace postblock::flash {
 
@@ -71,6 +74,12 @@ class FlashArray {
   const Counters& counters() const { return counters_; }
   Counters* mutable_counters() { return &counters_; }
 
+  /// Attaches the tracer (and the clock to stamp with): cell-health
+  /// incidents — uncorrectable reads, erase failures retiring a block —
+  /// become zero-duration markers on a "flash-health" track. Only rare
+  /// error paths touch the tracer, so the array's hot path is unchanged.
+  void set_tracer(trace::Tracer* tracer, sim::Simulator* sim);
+
  private:
   Geometry geometry_;
   Timing timing_;
@@ -78,6 +87,9 @@ class FlashArray {
   PageStore store_;
   Rng rng_;
   Counters counters_;
+  trace::Tracer* tracer_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+  std::uint32_t health_track_ = 0;
 };
 
 }  // namespace postblock::flash

@@ -70,7 +70,8 @@ flash::BlockAddr BlockFtl::TakeFreeBlock(std::uint32_t lun) {
   return addr;
 }
 
-void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
+void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
+                     trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("write beyond device"));
@@ -85,7 +86,7 @@ void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
   const std::uint32_t lun = LunOf(vblock);
   const SequenceNumber seq = next_seq_++;
 
-  EnqueueOp(lun, [this, vblock, off, token, seq, lun,
+  EnqueueOp(lun, [this, vblock, off, token, seq, lun, ctx,
                   cb = std::move(cb)](std::function<void()> op_done) mutable {
     VBlockEntry& e = map_[vblock];
     const auto& g = controller_->config().geometry;
@@ -108,22 +109,27 @@ void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
           [cb = std::move(cb), op_done = std::move(op_done)](Status st) {
             cb(std::move(st));
             op_done();
-          });
+          },
+          ctx);
       return;
     }
     // Overwrite or backwards write: copy-on-write merge of the block.
+    // The merge's copies and erase carry the host write's span, so a
+    // trace shows one random write dragging a whole block behind it.
     counters_.Increment("merges");
     Merge(lun, vblock, off, token, seq,
           [cb = std::move(cb), op_done = std::move(op_done)](Status st) {
             cb(std::move(st));
             op_done();
-          });
+          },
+          ctx);
   });
 }
 
 void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
                      std::uint64_t new_off_or_npos, std::uint64_t token,
-                     SequenceNumber seq, std::function<void(Status)> done) {
+                     SequenceNumber seq, std::function<void(Status)> done,
+                     trace::Ctx ctx) {
   struct Job {
     BlockFtl* ftl;
     std::uint32_t lun;
@@ -136,6 +142,7 @@ void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
     flash::BlockAddr new_phys;
     std::uint32_t page = 0;
     std::function<void(Status)> done;
+    trace::Ctx ctx;
   };
   auto job = std::make_shared<Job>();
   job->ftl = this;
@@ -149,6 +156,7 @@ void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
   if (e.mapped) job->old_phys = e.phys;
   job->new_phys = TakeFreeBlock(lun);
   job->done = std::move(done);
+  job->ctx = ctx;
 
   // Walk pages 0..ppb-1 in ascending order (constraint C3), taking the
   // new payload at new_off and copying live pages elsewhere.
@@ -162,14 +170,17 @@ void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
         job->done(Status::Ok());
         return;
       }
-      controller_->EraseBlock(job->old_phys, [this, job](Status st) {
-        if (st.ok()) {
-          luns_[job->lun].free_blocks.push_back(job->old_phys);
-        } else {
-          counters_.Increment("blocks_retired");
-        }
-        job->done(Status::Ok());
-      });
+      controller_->EraseBlock(
+          job->old_phys,
+          [this, job](Status st) {
+            if (st.ok()) {
+              luns_[job->lun].free_blocks.push_back(job->old_phys);
+            } else {
+              counters_.Increment("blocks_retired");
+            }
+            job->done(Status::Ok());
+          },
+          job->ctx);
       return;
     }
     const std::uint32_t p = job->page++;
@@ -186,7 +197,8 @@ void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
                                    return;
                                  }
                                  (*step)();
-                               });
+                               },
+                               job->ctx);
       return;
     }
     if (!job->had_old) {
@@ -202,26 +214,30 @@ void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
     }
     counters_.Increment("merge_page_copies");
     controller_->ReadPage(
-        src, [this, job, step, dst](StatusOr<flash::PageData> res) {
+        src,
+        [this, job, step, dst](StatusOr<flash::PageData> res) {
           if (!res.ok()) {
             // Unreadable page: drop it (data loss surfaces on host read).
             counters_.Increment("merge_read_failures");
             (*step)();
             return;
           }
-          controller_->ProgramPage(dst, *res, [job, step](Status st) {
-            if (!st.ok()) {
-              job->done(std::move(st));
-              return;
-            }
-            (*step)();
-          });
-        });
+          controller_->ProgramPage(dst, *res,
+                                   [job, step](Status st) {
+                                     if (!st.ok()) {
+                                       job->done(std::move(st));
+                                       return;
+                                     }
+                                     (*step)();
+                                   },
+                                   job->ctx);
+        },
+        job->ctx);
   };
   (*step)();
 }
 
-void BlockFtl::Read(Lba lba, ReadCallback cb) {
+void BlockFtl::Read(Lba lba, ReadCallback cb, trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("read beyond device"));
@@ -233,7 +249,7 @@ void BlockFtl::Read(Lba lba, ReadCallback cb) {
   const std::uint64_t vblock = lba / g.pages_per_block;
   const std::uint32_t off = static_cast<std::uint32_t>(lba % g.pages_per_block);
   const std::uint32_t lun = LunOf(vblock);
-  EnqueueOp(lun, [this, vblock, off,
+  EnqueueOp(lun, [this, vblock, off, ctx,
                   cb = std::move(cb)](std::function<void()> op_done) mutable {
     const VBlockEntry& e = map_[vblock];
     if (!e.mapped) {
@@ -252,8 +268,9 @@ void BlockFtl::Read(Lba lba, ReadCallback cb) {
       return;
     }
     controller_->ReadPage(
-        ppa, [this, cb = std::move(cb), op_done = std::move(op_done)](
-                 StatusOr<flash::PageData> res) {
+        ppa,
+        [this, cb = std::move(cb), op_done = std::move(op_done)](
+            StatusOr<flash::PageData> res) {
           if (!res.ok()) {
             counters_.Increment("read_failures");
             cb(res.status());
@@ -261,11 +278,12 @@ void BlockFtl::Read(Lba lba, ReadCallback cb) {
             cb(res->token);
           }
           op_done();
-        });
+        },
+        ctx);
   });
 }
 
-void BlockFtl::Trim(Lba lba, WriteCallback cb) {
+void BlockFtl::Trim(Lba lba, WriteCallback cb, trace::Ctx /*ctx*/) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("trim beyond device"));

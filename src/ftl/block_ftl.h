@@ -32,9 +32,10 @@ class BlockFtl : public Ftl {
   BlockFtl(const BlockFtl&) = delete;
   BlockFtl& operator=(const BlockFtl&) = delete;
 
-  void Write(Lba lba, std::uint64_t token, WriteCallback cb) override;
-  void Read(Lba lba, ReadCallback cb) override;
-  void Trim(Lba lba, WriteCallback cb) override;
+  void Write(Lba lba, std::uint64_t token, WriteCallback cb,
+             trace::Ctx ctx = {}) override;
+  void Read(Lba lba, ReadCallback cb, trace::Ctx ctx = {}) override;
+  void Trim(Lba lba, WriteCallback cb, trace::Ctx ctx = {}) override;
   std::uint64_t user_pages() const override { return user_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;
@@ -64,7 +65,8 @@ class BlockFtl : public Ftl {
   // block's live pages plus (optionally) one new page at `new_off`.
   void Merge(std::uint32_t lun, std::uint64_t vblock,
              std::uint64_t new_off_or_npos, std::uint64_t token,
-             SequenceNumber seq, std::function<void(Status)> done);
+             SequenceNumber seq, std::function<void(Status)> done,
+             trace::Ctx ctx);
 
   ssd::Controller* controller_;
   std::uint64_t user_vblocks_;

@@ -101,7 +101,8 @@ void Dftl::EnsureCached(std::uint64_t tp, bool make_dirty,
                [fetch](Status) { fetch(); });
 }
 
-void Dftl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
+void Dftl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
+                 trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("write beyond device"));
@@ -110,13 +111,16 @@ void Dftl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
   }
   counters_.Increment("host_writes");
   counters_.Increment("host_pages_accepted");
+  // The data write carries the host span; translation-page traffic
+  // (fetch/writeback inside EnsureCached) stays untagged — it is map
+  // overhead, not attributable to one host IO.
   EnsureCached(TpOf(lba), /*make_dirty=*/true,
-               [this, lba, token, cb = std::move(cb)]() mutable {
-                 base_->Write(lba, token, std::move(cb));
+               [this, lba, token, ctx, cb = std::move(cb)]() mutable {
+                 base_->Write(lba, token, std::move(cb), ctx);
                });
 }
 
-void Dftl::Read(Lba lba, ReadCallback cb) {
+void Dftl::Read(Lba lba, ReadCallback cb, trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("read beyond device"));
@@ -125,12 +129,12 @@ void Dftl::Read(Lba lba, ReadCallback cb) {
   }
   counters_.Increment("host_reads");
   EnsureCached(TpOf(lba), /*make_dirty=*/false,
-               [this, lba, cb = std::move(cb)]() mutable {
-                 base_->Read(lba, std::move(cb));
+               [this, lba, ctx, cb = std::move(cb)]() mutable {
+                 base_->Read(lba, std::move(cb), ctx);
                });
 }
 
-void Dftl::Trim(Lba lba, WriteCallback cb) {
+void Dftl::Trim(Lba lba, WriteCallback cb, trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("trim beyond device"));
@@ -139,8 +143,8 @@ void Dftl::Trim(Lba lba, WriteCallback cb) {
   }
   counters_.Increment("trims");
   EnsureCached(TpOf(lba), /*make_dirty=*/true,
-               [this, lba, cb = std::move(cb)]() mutable {
-                 base_->Trim(lba, std::move(cb));
+               [this, lba, ctx, cb = std::move(cb)]() mutable {
+                 base_->Trim(lba, std::move(cb), ctx);
                });
 }
 

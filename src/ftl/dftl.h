@@ -37,9 +37,10 @@ class Dftl : public Ftl {
   Dftl(const Dftl&) = delete;
   Dftl& operator=(const Dftl&) = delete;
 
-  void Write(Lba lba, std::uint64_t token, WriteCallback cb) override;
-  void Read(Lba lba, ReadCallback cb) override;
-  void Trim(Lba lba, WriteCallback cb) override;
+  void Write(Lba lba, std::uint64_t token, WriteCallback cb,
+             trace::Ctx ctx = {}) override;
+  void Read(Lba lba, ReadCallback cb, trace::Ctx ctx = {}) override;
+  void Trim(Lba lba, WriteCallback cb, trace::Ctx ctx = {}) override;
   std::uint64_t user_pages() const override { return user_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;

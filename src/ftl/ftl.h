@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/types.h"
+#include "trace/trace.h"
 
 namespace postblock::ftl {
 
@@ -25,15 +26,18 @@ class Ftl {
   virtual ~Ftl() = default;
 
   /// Writes one logical page. Completion = data durable on flash.
-  virtual void Write(Lba lba, std::uint64_t token, WriteCallback cb) = 0;
+  /// `ctx` carries the caller's trace span/origin down to the flash ops
+  /// this write turns into (empty = untraced).
+  virtual void Write(Lba lba, std::uint64_t token, WriteCallback cb,
+                     trace::Ctx ctx = {}) = 0;
 
   /// Reads one logical page. Unmapped LBAs read as token 0 (the device
   /// returns zeroes, like a real SSD after trim).
-  virtual void Read(Lba lba, ReadCallback cb) = 0;
+  virtual void Read(Lba lba, ReadCallback cb, trace::Ctx ctx = {}) = 0;
 
   /// Unmaps one logical page (the ATA TRIM retrofit the paper cites as
   /// evidence the memory abstraction has already cracked).
-  virtual void Trim(Lba lba, WriteCallback cb) = 0;
+  virtual void Trim(Lba lba, WriteCallback cb, trace::Ctx ctx = {}) = 0;
 
   /// Host-visible logical pages.
   virtual std::uint64_t user_pages() const = 0;

@@ -3,7 +3,7 @@
 namespace postblock::ftl {
 
 std::optional<flash::BlockAddr> GreedyGcPolicy::PickVictim(
-    const std::vector<BlockMeta>& candidates, SimTime /*now*/,
+    const std::vector<BlockMeta>& candidates, SimTime now,
     std::uint32_t pages_per_block) {
   const BlockMeta* best = nullptr;
   for (const auto& c : candidates) {
@@ -11,6 +11,7 @@ std::optional<flash::BlockAddr> GreedyGcPolicy::PickVictim(
     if (best == nullptr || c.valid_pages < best->valid_pages) best = &c;
   }
   if (best == nullptr) return std::nullopt;
+  MarkVictimPick(now, *best);
   return best->addr;
 }
 
@@ -32,6 +33,7 @@ std::optional<flash::BlockAddr> CostBenefitGcPolicy::PickVictim(
     }
   }
   if (best == nullptr) return std::nullopt;
+  MarkVictimPick(now, *best);
   return best->addr;
 }
 

@@ -8,6 +8,8 @@
 #include "common/types.h"
 #include "ftl/mapping_types.h"
 #include "ssd/config.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
 
 namespace postblock::ftl {
 
@@ -23,7 +25,27 @@ class GcPolicy {
       const std::vector<BlockMeta>& candidates, SimTime now,
       std::uint32_t pages_per_block) = 0;
 
+  /// Victim decisions become zero-duration markers on `track` (arg =
+  /// valid pages to move << 32 | victim block), so a trace shows *why*
+  /// GC cost appeared where it did.
+  void set_tracer(trace::Tracer* tracer, std::uint32_t track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
   static std::unique_ptr<GcPolicy> Create(ssd::GcPolicyKind kind);
+
+ protected:
+  void MarkVictimPick(SimTime now, const BlockMeta& victim) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    tracer_->Mark(trace::Stage::kGc, trace::Origin::kGc, 0, track_, now,
+                  (static_cast<std::uint64_t>(victim.valid_pages) << 32) |
+                      victim.addr.block);
+  }
+
+ private:
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
 };
 
 /// Fewest valid pages wins — minimizes immediate page moves.

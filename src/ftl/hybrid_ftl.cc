@@ -101,7 +101,8 @@ std::size_t HybridFtl::PickLogVictim(const LunState& st) const {
   return best;
 }
 
-void HybridFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
+void HybridFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
+                      trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("write beyond device"));
@@ -116,7 +117,7 @@ void HybridFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
   const std::uint32_t lun = LunOf(vblock);
   const SequenceNumber seq = next_seq_++;
 
-  EnqueueOp(lun, [this, vblock, off, token, seq, lun,
+  EnqueueOp(lun, [this, vblock, off, token, seq, lun, ctx,
                   cb = std::move(cb)](std::function<void()> op_done) mutable {
     VBlockEntry& e = map_[vblock];
     const auto& g = controller_->config().geometry;
@@ -141,17 +142,18 @@ void HybridFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
       const Lba page_lba = vblock * g.pages_per_block + off;
       controller_->ProgramPage(ppa,
                                flash::PageData{page_lba, seq, token, 0},
-                               std::move(finish));
+                               std::move(finish), ctx);
       return;
     }
-    WriteToLog(lun, vblock, off, token, seq, std::move(finish));
+    WriteToLog(lun, vblock, off, token, seq, std::move(finish), ctx);
   });
 }
 
 void HybridFtl::WriteToLog(std::uint32_t lun, std::uint64_t vblock,
                            std::uint32_t off, std::uint64_t token,
                            SequenceNumber seq,
-                           std::function<void(Status)> done) {
+                           std::function<void(Status)> done,
+                           trace::Ctx ctx) {
   LunState& st = luns_[lun];
   VBlockEntry& e = map_[vblock];
   const auto& g = controller_->config().geometry;
@@ -171,14 +173,14 @@ void HybridFtl::WriteToLog(std::uint32_t lun, std::uint64_t vblock,
       const std::uint64_t victim_vb = st.logs[victim_slot].vblock;
       counters_.Increment("log_evictions");
       MergeVBlock(lun, victim_vb,
-                  [this, lun, vblock, off, token, seq,
+                  [this, lun, vblock, off, token, seq, ctx,
                    done = std::move(done)](Status merge_st) mutable {
                     if (!merge_st.ok()) {
                       done(std::move(merge_st));
                       return;
                     }
                     WriteToLog(lun, vblock, off, token, seq,
-                               std::move(done));
+                               std::move(done), ctx);
                   });
       return;
     }
@@ -196,13 +198,14 @@ void HybridFtl::WriteToLog(std::uint32_t lun, std::uint64_t vblock,
     // Log full: merge, then retry (the retry lands on the direct or a
     // fresh-log path).
     MergeVBlock(lun, vblock,
-                [this, lun, vblock, off, token, seq,
+                [this, lun, vblock, off, token, seq, ctx,
                  done = std::move(done)](Status merge_st) mutable {
                   if (!merge_st.ok()) {
                     done(std::move(merge_st));
                     return;
                   }
-                  WriteToLog(lun, vblock, off, token, seq, std::move(done));
+                  WriteToLog(lun, vblock, off, token, seq, std::move(done),
+                             ctx);
                 });
     return;
   }
@@ -228,7 +231,7 @@ void HybridFtl::WriteToLog(std::uint32_t lun, std::uint64_t vblock,
                        log.phys.block, page};
   const Lba page_lba = vblock * g.pages_per_block + off;
   controller_->ProgramPage(dst, flash::PageData{page_lba, seq, token, 0},
-                           std::move(done));
+                           std::move(done), ctx);
 }
 
 void HybridFtl::MergeVBlock(std::uint32_t lun, std::uint64_t vblock,
@@ -356,7 +359,7 @@ void HybridFtl::MergeVBlock(std::uint32_t lun, std::uint64_t vblock,
   (*step)();
 }
 
-void HybridFtl::Read(Lba lba, ReadCallback cb) {
+void HybridFtl::Read(Lba lba, ReadCallback cb, trace::Ctx ctx) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("read beyond device"));
@@ -368,7 +371,7 @@ void HybridFtl::Read(Lba lba, ReadCallback cb) {
   const std::uint64_t vblock = lba / g.pages_per_block;
   const std::uint32_t off = static_cast<std::uint32_t>(lba % g.pages_per_block);
   const std::uint32_t lun = LunOf(vblock);
-  EnqueueOp(lun, [this, vblock, off, lun,
+  EnqueueOp(lun, [this, vblock, off, lun, ctx,
                   cb = std::move(cb)](std::function<void()> op_done) mutable {
     const VBlockEntry& e = map_[vblock];
     const LunState& st = luns_[lun];
@@ -396,8 +399,9 @@ void HybridFtl::Read(Lba lba, ReadCallback cb) {
       return;
     }
     controller_->ReadPage(
-        src, [this, cb = std::move(cb), op_done = std::move(op_done)](
-                 StatusOr<flash::PageData> res) {
+        src,
+        [this, cb = std::move(cb), op_done = std::move(op_done)](
+            StatusOr<flash::PageData> res) {
           if (!res.ok()) {
             counters_.Increment("read_failures");
             cb(res.status());
@@ -405,11 +409,12 @@ void HybridFtl::Read(Lba lba, ReadCallback cb) {
             cb(res->token);
           }
           op_done();
-        });
+        },
+        ctx);
   });
 }
 
-void HybridFtl::Trim(Lba lba, WriteCallback cb) {
+void HybridFtl::Trim(Lba lba, WriteCallback cb, trace::Ctx /*ctx*/) {
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("trim beyond device"));

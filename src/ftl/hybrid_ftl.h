@@ -37,9 +37,10 @@ class HybridFtl : public Ftl {
   HybridFtl(const HybridFtl&) = delete;
   HybridFtl& operator=(const HybridFtl&) = delete;
 
-  void Write(Lba lba, std::uint64_t token, WriteCallback cb) override;
-  void Read(Lba lba, ReadCallback cb) override;
-  void Trim(Lba lba, WriteCallback cb) override;
+  void Write(Lba lba, std::uint64_t token, WriteCallback cb,
+             trace::Ctx ctx = {}) override;
+  void Read(Lba lba, ReadCallback cb, trace::Ctx ctx = {}) override;
+  void Trim(Lba lba, WriteCallback cb, trace::Ctx ctx = {}) override;
   std::uint64_t user_pages() const override { return user_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;
@@ -81,7 +82,8 @@ class HybridFtl : public Ftl {
 
   void WriteToLog(std::uint32_t lun, std::uint64_t vblock,
                   std::uint32_t off, std::uint64_t token,
-                  SequenceNumber seq, std::function<void(Status)> done);
+                  SequenceNumber seq, std::function<void(Status)> done,
+                  trace::Ctx ctx);
   /// Merges vblock's data+log into a fresh block; frees both originals.
   /// Performs a switch merge when the log is a perfect sequential image.
   void MergeVBlock(std::uint32_t lun, std::uint64_t vblock,

@@ -27,7 +27,18 @@ PageFtl::PageFtl(ssd::Controller* controller, std::uint64_t logical_pages)
       placement_(WritePlacement::Create(controller->config().placement,
                                         controller->config().geometry)),
       gc_policy_(GcPolicy::Create(controller->config().gc.policy)),
-      wear_leveler_(controller->config().wear) {
+      wear_leveler_(controller->config().wear),
+      tracer_(controller->tracer()) {
+  if (tracer_ != nullptr) {
+    ftl_tracks_.reserve(luns_.size());
+    for (std::uint32_t l = 0; l < luns_.size(); ++l) {
+      ftl_tracks_.push_back(tracer_->RegisterTrack(
+          trace::kPidTranslation, "ftl-lun-" + std::to_string(l)));
+    }
+    gc_policy_->set_tracer(
+        tracer_,
+        tracer_->RegisterTrack(trace::kPidTranslation, "gc-policy"));
+  }
   const auto& g = geom();
   for (std::uint32_t l = 0; l < g.luns(); ++l) {
     const std::uint32_t channel = l / g.luns_per_channel;
@@ -57,7 +68,8 @@ std::optional<flash::Ppa> PageFtl::Locate(Lba lba) const {
 // Write path
 // ---------------------------------------------------------------------
 
-void PageFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
+void PageFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
+                    trace::Ctx ctx) {
   if (lba >= logical_pages_) {
     PostGuarded(std::move(cb), Status::OutOfRange("write beyond device"));
     return;
@@ -70,11 +82,13 @@ void PageFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb) {
   w.seq = next_seq_++;
   w.epoch = epoch_;
   w.cb = std::move(cb);
+  w.ctx = ctx;
+  w.enq_t = controller_->sim()->Now();
   EnqueueWrite(std::move(w));
 }
 
 void PageFtl::WriteAtomic(std::vector<std::pair<Lba, std::uint64_t>> pages,
-                          WriteCallback cb) {
+                          WriteCallback cb, trace::Ctx ctx) {
   if (pages.empty()) {
     PostGuarded(std::move(cb), Status::Ok());
     return;
@@ -99,6 +113,8 @@ void PageFtl::WriteAtomic(std::vector<std::pair<Lba, std::uint64_t>> pages,
     w.seq = next_seq_++;
     w.group = group;
     w.epoch = epoch_;
+    w.ctx = ctx;
+    w.enq_t = controller_->sim()->Now();
     tracker.pages.emplace_back(lba, w.seq);
     EnqueueWrite(std::move(w));
   }
@@ -226,7 +242,18 @@ void PageFtl::PumpLun(std::uint32_t lun) {
                          active->block, (*next_page)++};
     const std::uint64_t flat = FlatBlock(*active);
     ++in_flight_[flat];
-    last_write_[flat] = controller_->sim()->Now();
+    const SimTime now = controller_->sim()->Now();
+    last_write_[flat] = now;
+
+    // Mapping/placement stage: from FTL enqueue to flash issue (covers
+    // free-block waits and GC-reserve stalls). Copy the ctx out before
+    // the capture below moves `w`.
+    const trace::Ctx ctx = w.ctx;
+    if (tracer_ != nullptr && tracer_->enabled() && ctx.span != 0 &&
+        now > w.enq_t) {
+      tracer_->Record(trace::Stage::kMap, ctx.origin, ctx.span,
+                      ctx.parent, ftl_tracks_[lun], w.enq_t, now, w.lba);
+    }
 
     flash::PageData data;
     data.lba = w.is_commit_marker ? flash::kAtomicCommitLba : w.lba;
@@ -238,7 +265,8 @@ void PageFtl::PumpLun(std::uint32_t lun) {
         [this, lun, flat, w = std::move(w), ppa](Status s) mutable {
           --in_flight_[flat];
           OnProgramDone(lun, std::move(w), ppa, std::move(s));
-        });
+        },
+        ctx);
   }
   MaybeStartGc(lun);
 }
@@ -403,7 +431,7 @@ void PageFtl::CommitAtomicGroup(std::uint64_t group) {
 // Read path
 // ---------------------------------------------------------------------
 
-void PageFtl::Read(Lba lba, ReadCallback cb) {
+void PageFtl::Read(Lba lba, ReadCallback cb, trace::Ctx ctx) {
   if (lba >= logical_pages_) {
     PostGuarded(std::move(cb),
                 StatusOr<std::uint64_t>(
@@ -411,10 +439,11 @@ void PageFtl::Read(Lba lba, ReadCallback cb) {
     return;
   }
   counters_.Increment("host_reads");
-  ReadAttempt(lba, 0, std::move(cb));
+  ReadAttempt(lba, 0, std::move(cb), ctx);
 }
 
-void PageFtl::ReadAttempt(Lba lba, int tries, ReadCallback cb) {
+void PageFtl::ReadAttempt(Lba lba, int tries, ReadCallback cb,
+                          trace::Ctx ctx) {
   const MapEntry& e = map_[lba];
   if (!e.mapped) {
     counters_.Increment("host_reads_unmapped");
@@ -425,8 +454,9 @@ void PageFtl::ReadAttempt(Lba lba, int tries, ReadCallback cb) {
   const SequenceNumber expected_seq = e.seq;
   const std::uint64_t epoch = epoch_;
   controller_->ReadPage(
-      ppa, [this, lba, tries, expected_seq, epoch,
-            cb = std::move(cb)](StatusOr<flash::PageData> res) mutable {
+      ppa,
+      [this, lba, tries, expected_seq, epoch, ctx,
+       cb = std::move(cb)](StatusOr<flash::PageData> res) mutable {
         if (epoch != epoch_) return;  // power-cycled away
         if (res.ok() && res->lba == lba && res->seq == expected_seq) {
           cb(res->token);
@@ -445,15 +475,16 @@ void PageFtl::ReadAttempt(Lba lba, int tries, ReadCallback cb) {
                               std::to_string(lba)));
           return;
         }
-        ReadAttempt(lba, tries + 1, std::move(cb));
-      });
+        ReadAttempt(lba, tries + 1, std::move(cb), ctx);
+      },
+      ctx);
 }
 
 // ---------------------------------------------------------------------
 // Trim
 // ---------------------------------------------------------------------
 
-void PageFtl::Trim(Lba lba, WriteCallback cb) {
+void PageFtl::Trim(Lba lba, WriteCallback cb, trace::Ctx /*ctx*/) {
   if (lba >= logical_pages_) {
     PostGuarded(std::move(cb), Status::OutOfRange("trim beyond device"));
     return;
@@ -517,6 +548,10 @@ void PageFtl::MaybeStartGc(std::uint32_t lun) {
   if (!victim.has_value()) return;
   st.gc_running = true;
   st.collecting_wl = false;
+  st.gc_ctx = trace::Ctx{
+      tracer_ != nullptr ? tracer_->NewSpan() : trace::SpanId{0}, 0,
+      trace::Origin::kGc};
+  st.gc_start = controller_->sim()->Now();
   counters_.Increment("gc_runs");
   CollectBlock(lun, *victim, /*is_wl=*/false);
 }
@@ -547,6 +582,10 @@ void PageFtl::MaybeStartStaticWl(std::uint32_t lun) {
   if (!cold.has_value()) return;
   st.gc_running = true;
   st.collecting_wl = true;
+  st.gc_ctx = trace::Ctx{
+      tracer_ != nullptr ? tracer_->NewSpan() : trace::SpanId{0}, 0,
+      trace::Origin::kWearLevel};
+  st.gc_start = controller_->sim()->Now();
   counters_.Increment("wl_runs");
   CollectBlock(lun, *cold, /*is_wl=*/true);
 }
@@ -580,8 +619,9 @@ void PageFtl::RelocatePage(std::uint32_t lun, flash::Ppa ppa, bool is_wl,
   const std::uint64_t epoch = epoch_;
   counters_.Increment(is_wl ? "wl_reads" : "gc_reads");
   controller_->ReadPage(
-      ppa, [this, lun, ppa, epoch, is_wl,
-            done = std::move(done)](StatusOr<flash::PageData> res) mutable {
+      ppa,
+      [this, lun, ppa, epoch, is_wl,
+       done = std::move(done)](StatusOr<flash::PageData> res) mutable {
         if (epoch != epoch_) return;
         if (!res.ok()) {
           // ECC death during GC: the copy is lost. Count it and move on
@@ -598,6 +638,8 @@ void PageFtl::RelocatePage(std::uint32_t lun, flash::Ppa ppa, bool is_wl,
         w.group = d.group;
         w.epoch = epoch_;
         w.expected_old = ppa;
+        w.ctx = luns_[lun].gc_ctx;
+        w.enq_t = controller_->sim()->Now();
         if (d.lba == flash::kAtomicCommitLba) {
           w.is_commit_marker = true;
           w.lba = 0;
@@ -608,14 +650,16 @@ void PageFtl::RelocatePage(std::uint32_t lun, flash::Ppa ppa, bool is_wl,
         // Relocations stay on the victim's LUN and jump the host queue.
         luns_[lun].gc_queue.push_back(std::move(w));
         PumpLun(lun);
-      });
+      },
+      luns_[lun].gc_ctx);
 }
 
 void PageFtl::FinishCollect(std::uint32_t lun, flash::BlockAddr victim,
                             bool is_wl) {
   const std::uint64_t epoch = epoch_;
   controller_->EraseBlock(
-      victim, [this, lun, victim, epoch, is_wl](Status st) {
+      victim,
+      [this, lun, victim, epoch, is_wl](Status st) {
         if (epoch != epoch_) return;
         counters_.Increment(is_wl ? "wl_erases" : "gc_erases");
         LunState& lst = luns_[lun];
@@ -631,6 +675,16 @@ void PageFtl::FinishCollect(std::uint32_t lun, flash::BlockAddr victim,
           // Erase failure retired the block (already marked bad).
           counters_.Increment("blocks_retired");
         }
+        // The collection as one interval on the LUN's FTL track: pick
+        // to erase-done, relocation traffic included.
+        if (tracer_ != nullptr && tracer_->enabled() &&
+            lst.gc_ctx.span != 0) {
+          tracer_->Record(trace::Stage::kGc, lst.gc_ctx.origin,
+                          lst.gc_ctx.span, 0, ftl_tracks_[lun],
+                          lst.gc_start, controller_->sim()->Now(),
+                          victim.block);
+        }
+        lst.gc_ctx = trace::Ctx{};
         lst.gc_running = false;
         lst.collecting_wl = false;
         // Give static wear leveling a turn between collections — under
@@ -638,7 +692,8 @@ void PageFtl::FinishCollect(std::uint32_t lun, flash::BlockAddr victim,
         // watermark, and WL would otherwise starve.
         MaybeStartStaticWl(lun);
         PumpLun(lun);
-      });
+      },
+      luns_[lun].gc_ctx);
 }
 
 // ---------------------------------------------------------------------
@@ -662,6 +717,8 @@ Status PageFtl::PowerCycle() {
     st.gc_running = false;
     st.stalled = false;
     st.free_blocks.clear();
+    st.gc_ctx = trace::Ctx{};
+    st.gc_start = 0;
   }
   atomic_groups_.clear();
   atomic_live_.clear();

@@ -42,9 +42,10 @@ class PageFtl : public Ftl {
   PageFtl& operator=(const PageFtl&) = delete;
 
   // --- Ftl interface -----------------------------------------------
-  void Write(Lba lba, std::uint64_t token, WriteCallback cb) override;
-  void Read(Lba lba, ReadCallback cb) override;
-  void Trim(Lba lba, WriteCallback cb) override;
+  void Write(Lba lba, std::uint64_t token, WriteCallback cb,
+             trace::Ctx ctx = {}) override;
+  void Read(Lba lba, ReadCallback cb, trace::Ctx ctx = {}) override;
+  void Trim(Lba lba, WriteCallback cb, trace::Ctx ctx = {}) override;
   std::uint64_t user_pages() const override { return logical_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;
@@ -53,7 +54,7 @@ class PageFtl : public Ftl {
   /// Atomically writes a set of pages: either all mappings flip (after
   /// an on-flash commit marker is durable) or none survive recovery.
   void WriteAtomic(std::vector<std::pair<Lba, std::uint64_t>> pages,
-                   WriteCallback cb);
+                   WriteCallback cb, trace::Ctx ctx = {});
 
   /// Called when GC/WL relocates a live page: (lba, old ppa, new ppa).
   /// Used by the nameless-write layer so host-held names track moves —
@@ -94,6 +95,8 @@ class PageFtl : public Ftl {
     flash::Ppa expected_old;
     std::uint64_t epoch = 0;
     WriteCallback cb;  // may be null for relocations
+    trace::Ctx ctx;
+    SimTime enq_t = 0;  // when the write entered the FTL queue
   };
 
   struct LunState {
@@ -117,6 +120,12 @@ class PageFtl : public Ftl {
     /// GC erases since the last WL migration (WL pacing).
     std::uint32_t erases_since_wl = 0;
     bool stalled = false;  // host queue blocked on free space
+    /// Trace identity of the collection in progress (gc_running): all
+    /// its relocations and the final erase carry gc_ctx, so the victim
+    /// ops show up GC-tagged on the flash tracks; the whole collection
+    /// is recorded as one kGc span [gc_start, erase done).
+    trace::Ctx gc_ctx;
+    SimTime gc_start = 0;
   };
 
   struct AtomicGroup {
@@ -148,7 +157,7 @@ class PageFtl : public Ftl {
   void InvalidatePage(const flash::Ppa& ppa);
 
   // Read pipeline.
-  void ReadAttempt(Lba lba, int tries, ReadCallback cb);
+  void ReadAttempt(Lba lba, int tries, ReadCallback cb, trace::Ctx ctx);
 
   /// Schedules an immediate completion that dies with the current epoch
   /// (so a power cut truly silences every pending callback).
@@ -212,6 +221,9 @@ class PageFtl : public Ftl {
   WearLeveler wear_leveler_;
   MigrationListener migration_listener_;
   Counters counters_;
+
+  trace::Tracer* tracer_ = nullptr;          // == controller's tracer
+  std::vector<std::uint32_t> ftl_tracks_;    // "ftl-lun-N" per LUN
 };
 
 }  // namespace postblock::ftl

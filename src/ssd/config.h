@@ -9,6 +9,10 @@
 #include "flash/geometry.h"
 #include "flash/timing.h"
 
+namespace postblock::trace {
+class Tracer;
+}  // namespace postblock::trace
+
 namespace postblock::ssd {
 
 /// Which Flash Translation Layer the controller runs (Figure 2's
@@ -96,6 +100,13 @@ struct Config {
 
   /// Fixed controller firmware overhead added to every host-visible op.
   SimTime controller_overhead_ns = 2 * kMicrosecond;
+
+  /// Cross-layer tracer shared by every layer of this device (not
+  /// owned; may be null). Attaching a tracer wires span propagation and
+  /// the GC-stall attribution counters through the whole stack; stage
+  /// events are only recorded while tracer->enabled() — the single
+  /// flag that turns full attribution on (ISSUE 2).
+  trace::Tracer* tracer = nullptr;
 
   /// Multi-plane operation: array operations on *different planes* of
   /// one LUN execute concurrently (the paper's §2.2: planes exist

@@ -10,12 +10,14 @@ namespace postblock::ssd {
 Controller::Controller(sim::Simulator* sim, const Config& config)
     : sim_(sim),
       config_(config),
-      flash_(config.geometry, config.timing, config.errors, config.seed) {
+      flash_(config.geometry, config.timing, config.errors, config.seed),
+      tracer_(config.tracer) {
   const auto& g = config_.geometry;
   channels_.reserve(g.channels);
   for (std::uint32_t c = 0; c < g.channels; ++c) {
     channels_.push_back(std::make_unique<Channel>(sim_, c, config_.timing,
                                                   g.page_size_bytes));
+    channels_.back()->set_tracer(tracer_);
   }
   units_per_lun_ = config_.plane_parallelism ? g.planes_per_lun : 1;
   units_.reserve(g.luns() * units_per_lun_);
@@ -24,6 +26,15 @@ Controller::Controller(sim::Simulator* sim, const Config& config)
       units_.push_back(std::make_unique<sim::Resource>(
           sim_, "lun-" + std::to_string(l) + "." + std::to_string(p)));
     }
+  }
+  unit_gc_.resize(units_.size());
+  if (tracer_ != nullptr) {
+    unit_tracks_.reserve(units_.size());
+    for (const auto& u : units_) {
+      unit_tracks_.push_back(
+          tracer_->RegisterTrack(trace::kPidFlash, u->name()));
+    }
+    flash_.set_tracer(tracer_, sim_);
   }
 }
 
@@ -40,22 +51,98 @@ Controller::Op* Controller::AcquireOp() {
 void Controller::ReleaseOp(Op* op) {
   op->read_cb = nullptr;
   op->op_cb = nullptr;
+  op->ctx = trace::Ctx{};
   op_free_.push_back(op);
+}
+
+// --- Unit wait attribution ---------------------------------------------
+
+void Controller::StartOp(Op* op, trace::Ctx ctx,
+                         void (Controller::*phase)(Op*)) {
+  op->start = sim_->Now();
+  op->epoch = epoch_;
+  op->ctx = ctx;
+  op->lun = units_[op->unit].get();
+  op->chan = channels_[op->src.channel].get();
+  op->wait_start = op->start;
+  op->gc_mark = unit_gc_[op->unit].Total(op->start);
+  auto grant = [this, op, phase] {
+    OnUnitGrant(op);
+    (this->*phase)(op);
+  };
+  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
+  op->lun->Acquire(grant);
+}
+
+void Controller::OnUnitGrant(Op* op) {
+  const SimTime now = sim_->Now();
+  const std::uint64_t wait = now - op->wait_start;
+  if (wait > 0) {
+    // GC share of the wait = GC-held unit time that elapsed while this
+    // op queued; exact since each unit is a capacity-1 resource.
+    std::uint64_t gc_part = unit_gc_[op->unit].Total(now) - op->gc_mark;
+    if (gc_part > wait) gc_part = wait;
+    if (op->ctx.origin == trace::Origin::kHostRead) {
+      gc_stall_read_ns_ += gc_part;
+    } else if (op->ctx.origin == trace::Origin::kHostWrite) {
+      gc_stall_write_ns_ += gc_part;
+    }
+    if (Traced(op)) {
+      const std::uint32_t track = unit_tracks_[op->unit];
+      const SimTime split = now - gc_part;
+      if (split > op->wait_start) {
+        tracer_->Record(trace::Stage::kQueueWait, op->ctx.origin,
+                        op->ctx.span, op->ctx.parent, track,
+                        op->wait_start, split, op->src.block);
+      }
+      if (gc_part > 0) {
+        tracer_->Record(trace::Stage::kGcStall, op->ctx.origin,
+                        op->ctx.span, op->ctx.parent, track, split, now,
+                        op->src.block);
+      }
+    }
+  }
+  if (trace::IsGcOrigin(op->ctx.origin)) unit_gc_[op->unit].Enter(now);
+}
+
+void Controller::ExitUnit(Op* op) {
+  // Runs on every completion path, stale epoch included (the unit
+  // resource is likewise always released), so GC occupancy balances.
+  if (trace::IsGcOrigin(op->ctx.origin)) {
+    unit_gc_[op->unit].Exit(sim_->Now());
+  }
+  op->lun->Release();
+}
+
+void Controller::RecordCellOp(Op* op, SimTime busy_ns) {
+  if (!Traced(op)) return;
+  const SimTime now = sim_->Now();
+  tracer_->Record(trace::Stage::kCellOp, op->ctx.origin, op->ctx.span,
+                  op->ctx.parent, unit_tracks_[op->unit], now,
+                  now + busy_ns, op->src.block);
+}
+
+std::uint64_t Controller::GcStallReadNs() const {
+  std::uint64_t total = gc_stall_read_ns_;
+  for (const auto& ch : channels_) total += ch->gc_stall_read_ns();
+  return total;
+}
+
+std::uint64_t Controller::GcStallWriteNs() const {
+  std::uint64_t total = gc_stall_write_ns_;
+  for (const auto& ch : channels_) total += ch->gc_stall_write_ns();
+  return total;
 }
 
 // --- Read: [LUN: cmd + array read] then [channel: transfer out] --------
 
-void Controller::ReadPage(const flash::Ppa& ppa, ReadCallback on_done) {
+void Controller::ReadPage(const flash::Ppa& ppa, ReadCallback on_done,
+                          trace::Ctx ctx) {
   Op* op = AcquireOp();
   op->src = ppa;
-  op->start = sim_->Now();
-  op->epoch = epoch_;
-  op->lun = unit_for(ppa);
-  op->chan = channels_[ppa.channel].get();
+  op->unit = UnitIndexFor(ppa);
   op->read_cb = std::move(on_done);
-  auto grant = [this, op] { ReadArrayPhase(op); };
-  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
-  op->lun->Acquire(grant);
+  StartOp(op, ctx, &Controller::ReadArrayPhase);
 }
 
 void Controller::ReadArrayPhase(Op* op) {
@@ -63,6 +150,7 @@ void Controller::ReadArrayPhase(Op* op) {
   // channel is not (command cycles folded into the array time).
   const SimTime array_read =
       config_.timing.cmd_ns + config_.timing.read_ns;
+  RecordCellOp(op, array_read);
   auto next = [this, op] { ReadTransferPhase(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
   sim_->Schedule(array_read, next);
@@ -72,11 +160,11 @@ void Controller::ReadTransferPhase(Op* op) {
   // Data transfer: page register -> controller over the shared bus.
   auto next = [this, op] { FinishRead(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  op->chan->Transfer(next);
+  op->chan->Transfer(op->ctx, next);
 }
 
 void Controller::FinishRead(Op* op) {
-  op->lun->Release();
+  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -97,34 +185,32 @@ void Controller::FinishRead(Op* op) {
 
 void Controller::ProgramPage(const flash::Ppa& ppa,
                              const flash::PageData& data,
-                             OpCallback on_done) {
+                             OpCallback on_done, trace::Ctx ctx) {
   Op* op = AcquireOp();
   op->src = ppa;
   op->data = data;
-  op->start = sim_->Now();
-  op->epoch = epoch_;
-  op->lun = unit_for(ppa);
-  op->chan = channels_[ppa.channel].get();
+  op->unit = UnitIndexFor(ppa);
   op->op_cb = std::move(on_done);
-  auto grant = [this, op] {
-    // Data transfer: controller -> page register (bus busy, array idle).
-    auto next = [this, op] { ProgramArrayPhase(op); };
-    static_assert(sim::InplaceCallback::fits<decltype(next)>());
-    op->chan->Transfer(next);
-  };
-  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
-  op->lun->Acquire(grant);
+  StartOp(op, ctx, &Controller::ProgramTransferPhase);
+}
+
+void Controller::ProgramTransferPhase(Op* op) {
+  // Data transfer: controller -> page register (bus busy, array idle).
+  auto next = [this, op] { ProgramArrayPhase(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  op->chan->Transfer(op->ctx, next);
 }
 
 void Controller::ProgramArrayPhase(Op* op) {
   // Array program: page register -> cells (LUN busy, bus free).
+  RecordCellOp(op, config_.timing.program_ns);
   auto next = [this, op] { FinishProgram(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
   sim_->Schedule(config_.timing.program_ns, next);
 }
 
 void Controller::FinishProgram(Op* op) {
-  op->lun->Release();
+  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -144,7 +230,7 @@ void Controller::FinishProgram(Op* op) {
 // --- Copyback: [channel: cmd] then in-die [array read + program] -------
 
 void Controller::CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
-                              OpCallback on_done) {
+                              OpCallback on_done, trace::Ctx ctx) {
   if (src.GlobalLun(config_.geometry) != dst.GlobalLun(config_.geometry) ||
       src.plane != dst.plane) {
     sim_->Schedule(0, [on_done = std::move(on_done)]() {
@@ -156,31 +242,29 @@ void Controller::CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
   Op* op = AcquireOp();
   op->src = src;
   op->dst = dst;
-  op->start = sim_->Now();
-  op->epoch = epoch_;
-  op->lun = unit_for(src);
-  op->chan = channels_[src.channel].get();
+  op->unit = UnitIndexFor(src);
   op->op_cb = std::move(on_done);
   // Command cycles on the bus, then array read + array program back to
   // back inside the die; no data transfer.
-  auto grant = [this, op] {
-    auto next = [this, op] { CopybackBusyPhase(op); };
-    static_assert(sim::InplaceCallback::fits<decltype(next)>());
-    op->chan->Command(next);
-  };
-  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
-  op->lun->Acquire(grant);
+  StartOp(op, ctx, &Controller::CopybackCommandPhase);
+}
+
+void Controller::CopybackCommandPhase(Op* op) {
+  auto next = [this, op] { CopybackBusyPhase(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  op->chan->Command(op->ctx, next);
 }
 
 void Controller::CopybackBusyPhase(Op* op) {
   const SimTime busy = config_.timing.read_ns + config_.timing.program_ns;
+  RecordCellOp(op, busy);
   auto next = [this, op] { FinishCopyback(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
   sim_->Schedule(busy, next);
 }
 
 void Controller::FinishCopyback(Op* op) {
-  op->lun->Release();
+  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -200,31 +284,29 @@ void Controller::FinishCopyback(Op* op) {
 // --- Erase: [channel: cmd] then [LUN: block erase] ---------------------
 
 void Controller::EraseBlock(const flash::BlockAddr& addr,
-                            OpCallback on_done) {
+                            OpCallback on_done, trace::Ctx ctx) {
   Op* op = AcquireOp();
   op->src = flash::Ppa{addr.channel, addr.lun, addr.plane, addr.block, 0};
-  op->start = sim_->Now();
-  op->epoch = epoch_;
-  op->lun = unit_for(addr);
-  op->chan = channels_[addr.channel].get();
+  op->unit = UnitIndexFor(op->src);
   op->op_cb = std::move(on_done);
-  auto grant = [this, op] {
-    auto next = [this, op] { EraseBusyPhase(op); };
-    static_assert(sim::InplaceCallback::fits<decltype(next)>());
-    op->chan->Command(next);
-  };
-  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
-  op->lun->Acquire(grant);
+  StartOp(op, ctx, &Controller::EraseCommandPhase);
+}
+
+void Controller::EraseCommandPhase(Op* op) {
+  auto next = [this, op] { EraseBusyPhase(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(next)>());
+  op->chan->Command(op->ctx, next);
 }
 
 void Controller::EraseBusyPhase(Op* op) {
+  RecordCellOp(op, config_.timing.erase_ns);
   auto next = [this, op] { FinishErase(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
   sim_->Schedule(config_.timing.erase_ns, next);
 }
 
 void Controller::FinishErase(Op* op) {
-  op->lun->Release();
+  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;

@@ -15,6 +15,8 @@
 #include "sim/simulator.h"
 #include "ssd/channel.h"
 #include "ssd/config.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
 
 namespace postblock::ssd {
 
@@ -39,16 +41,20 @@ class Controller {
   using ReadCallback = std::function<void(StatusOr<flash::PageData>)>;
   using OpCallback = std::function<void(Status)>;
 
-  /// Timed page read through LUN + channel.
-  void ReadPage(const flash::Ppa& ppa, ReadCallback on_done);
+  /// Timed page read through LUN + channel. `ctx` ties the op to a
+  /// trace span and names its originator (host read vs GC vs ...), the
+  /// input to GC-stall attribution.
+  void ReadPage(const flash::Ppa& ppa, ReadCallback on_done,
+                trace::Ctx ctx = {});
 
   /// Timed page program. Array state mutates when the program phase
   /// finishes; constraint violations surface in the callback status.
   void ProgramPage(const flash::Ppa& ppa, const flash::PageData& data,
-                   OpCallback on_done);
+                   OpCallback on_done, trace::Ctx ctx = {});
 
   /// Timed block erase.
-  void EraseBlock(const flash::BlockAddr& addr, OpCallback on_done);
+  void EraseBlock(const flash::BlockAddr& addr, OpCallback on_done,
+                  trace::Ctx ctx = {});
 
   /// Copyback (ONFI internal data move): reads `src` into the plane's
   /// page register and programs it to `dst` without crossing the
@@ -57,7 +63,7 @@ class Controller {
   /// leaves the die (so no ECC scrub — real controllers alternate
   /// copyback with read-verify; modeled here as error-model-free).
   void CopybackPage(const flash::Ppa& src, const flash::Ppa& dst,
-                    OpCallback on_done);
+                    OpCallback on_done, trace::Ctx ctx = {});
 
   sim::Simulator* sim() { return sim_; }
   const Config& config() const { return config_; }
@@ -96,6 +102,24 @@ class Controller {
     return flash_.counters().Get("energy_nj");
   }
 
+  trace::Tracer* tracer() { return tracer_; }
+  /// Trace track of a serial execution unit (for FTL instrumentation
+  /// that wants to annotate a LUN's timeline).
+  std::uint32_t unit_track(std::uint32_t unit) const {
+    return unit_tracks_.empty() ? 0 : unit_tracks_[unit];
+  }
+  std::uint32_t UnitIndexFor(const flash::Ppa& ppa) const {
+    return UnitIndex(ppa.GlobalLun(config_.geometry), ppa.plane);
+  }
+
+  /// Nanoseconds host reads/writes spent waiting on units or channel
+  /// buses *because* GC/WL work held them — the paper's Fig. 2
+  /// interference, isolated. Always maintained (cheap integer math),
+  /// tracer or not, but only nonzero once ops carry origins (i.e. a
+  /// tracer is attached to the owning Device/stack).
+  std::uint64_t GcStallReadNs() const;
+  std::uint64_t GcStallWriteNs() const;
+
   /// Power cut: every in-flight operation dies without touching the
   /// cells (a real interrupted program/erase leaves garbage; we model
   /// the stronger "nothing happened", which recovery code must already
@@ -119,18 +143,37 @@ class Controller {
     Channel* chan = nullptr;
     ReadCallback read_cb;
     OpCallback op_cb;
+    trace::Ctx ctx;
+    SimTime wait_start = 0;      // when the op began waiting on its unit
+    std::uint64_t gc_mark = 0;   // unit GC-busy integral at wait start
+    std::uint32_t unit = 0;
   };
 
   Op* AcquireOp();
   void ReleaseOp(Op* op);
 
+  /// Common entry for an op: stamps identity/wait state and requests
+  /// the serial unit; `phase` runs on grant, after wait attribution.
+  void StartOp(Op* op, trace::Ctx ctx, void (Controller::*phase)(Op*));
+  /// Splits the just-ended unit wait into queue vs GC-stall, updates
+  /// the stall counters, and marks the unit GC-busy for GC-origin ops.
+  void OnUnitGrant(Op* op);
+  void ExitUnit(Op* op);
+  bool Traced(const Op* op) const {
+    return tracer_ != nullptr && tracer_->enabled() && op->ctx.span != 0;
+  }
+  void RecordCellOp(Op* op, SimTime busy_ns);
+
   void ReadArrayPhase(Op* op);
   void ReadTransferPhase(Op* op);
   void FinishRead(Op* op);
+  void ProgramTransferPhase(Op* op);
   void ProgramArrayPhase(Op* op);
   void FinishProgram(Op* op);
+  void CopybackCommandPhase(Op* op);
   void CopybackBusyPhase(Op* op);
   void FinishCopyback(Op* op);
+  void EraseCommandPhase(Op* op);
   void EraseBusyPhase(Op* op);
   void FinishErase(Op* op);
 
@@ -146,6 +189,12 @@ class Controller {
   std::uint32_t units_per_lun_ = 1;
   std::vector<std::unique_ptr<sim::Resource>> units_;
   std::uint64_t epoch_ = 0;
+
+  trace::Tracer* tracer_ = nullptr;
+  std::vector<std::uint32_t> unit_tracks_;   // trace track per unit
+  std::vector<trace::BusyClock> unit_gc_;    // GC occupancy per unit
+  std::uint64_t gc_stall_read_ns_ = 0;       // unit-level only; accessor
+  std::uint64_t gc_stall_write_ns_ = 0;      //   adds channel-level
 
   std::vector<std::unique_ptr<Op>> ops_;  // owns every Op ever created
   std::vector<Op*> op_free_;              // recycled records

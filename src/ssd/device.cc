@@ -25,7 +25,10 @@ std::unique_ptr<ftl::Ftl> MakeFtl(Controller* controller) {
 }
 
 Device::Device(sim::Simulator* sim, const Config& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), config_(config), tracer_(config.tracer) {
+  if (tracer_ != nullptr) {
+    dev_track_ = tracer_->RegisterTrack(trace::kPidHost, "ssd-device");
+  }
   controller_ = std::make_unique<Controller>(sim, config_);
   ftl_ = MakeFtl(controller_.get());
   page_ftl_ = dynamic_cast<ftl::PageFtl*>(ftl_.get());
@@ -61,19 +64,35 @@ void Device::Submit(blocklayer::IoRequest request) {
     });
     return;
   }
+  // Trace identity: mint the root span if no layer above is tracing
+  // this request; admission cost becomes a kSchedule span on the device
+  // track either way.
+  bool root = false;
+  const SimTime submit_t = sim_->Now();
+  if (Traced()) {
+    if (request.span == 0) {
+      request.span = tracer_->NewSpan();
+      root = true;
+    }
+    tracer_->Record(trace::Stage::kSchedule, blocklayer::OriginOf(request.op),
+                    request.span, 0, dev_track_, submit_t,
+                    submit_t + config_.controller_overhead_ns, request.lba);
+  }
+
   // Firmware admission cost, then fan out page ops. Requests still in
   // admission when power is cut are dropped whole.
   auto req = std::make_shared<blocklayer::IoRequest>(std::move(request));
   const std::uint64_t epoch = epoch_;
   sim_->Schedule(config_.controller_overhead_ns,
-                 [this, epoch, req = std::move(req)]() {
+                 [this, epoch, root, submit_t, req = std::move(req)]() {
                    if (epoch != epoch_) return;
-                   SubmitPageOps(req);
+                   SubmitPageOps(req, root, submit_t);
                  });
 }
 
 void Device::SubmitPageOps(
-    const std::shared_ptr<blocklayer::IoRequest>& req) {
+    const std::shared_ptr<blocklayer::IoRequest>& req, bool root,
+    SimTime submit_t) {
   const blocklayer::IoRequest& request = *req;
   const SimTime start = sim_->Now();
   struct Tracker {
@@ -86,9 +105,9 @@ void Device::SubmitPageOps(
   tracker->tokens.assign(
       request.op == blocklayer::IoOp::kRead ? request.nblocks : 0, 0);
 
-  auto on_page = [this, tracker, req, start](std::uint32_t index,
-                                             Status st,
-                                             std::uint64_t token) {
+  auto on_page = [this, tracker, req, start, root,
+                  submit_t](std::uint32_t index, Status st,
+                            std::uint64_t token) {
     const blocklayer::IoRequest& request = *req;
     if (!st.ok() && tracker->first_error.ok()) tracker->first_error = st;
     if (request.op == blocklayer::IoOp::kRead &&
@@ -108,9 +127,29 @@ void Device::SubmitPageOps(
         break;
     }
     counters_.Increment("completions");
+    if (root && tracer_ != nullptr) {
+      tracer_->Record(trace::Stage::kIo,
+                      blocklayer::OriginOf(request.op), request.span, 0,
+                      dev_track_, submit_t, sim_->Now(), request.lba);
+    }
     request.on_complete(
         blocklayer::IoResult{tracker->first_error,
                              std::move(tracker->tokens)});
+  };
+
+  // Per-page trace context: origin always rides along (it feeds the
+  // always-on GC-stall counters); spans only exist while tracing is
+  // enabled. Multi-page requests get child spans so per-page flash work
+  // still nests under the request in the trace.
+  const trace::Origin origin = blocklayer::OriginOf(request.op);
+  const bool fanout = Traced() && request.span != 0 && request.nblocks > 1;
+  auto page_ctx = [this, &request, origin, fanout]() {
+    trace::Ctx ctx{request.span, 0, origin};
+    if (fanout) {
+      ctx.span = tracer_->NewSpan();
+      ctx.parent = request.span;
+    }
+    return ctx;
   };
 
   switch (request.op) {
@@ -121,19 +160,29 @@ void Device::SubmitPageOps(
         if (write_buffer_ != nullptr &&
             write_buffer_->Lookup(lba, &buffered)) {
           counters_.Increment("buffer_read_hits");
+          if (Traced() && request.span != 0) {
+            // Served from the write cache: a kMap blip, no flash work.
+            tracer_->Record(trace::Stage::kMap, origin, request.span, 0,
+                            dev_track_, sim_->Now(),
+                            sim_->Now() + config_.write_buffer.insert_ns,
+                            lba);
+          }
           sim_->Schedule(config_.write_buffer.insert_ns,
                          [on_page, i, buffered]() {
                            on_page(i, Status::Ok(), buffered);
                          });
           continue;
         }
-        ftl_->Read(lba, [on_page, i](StatusOr<std::uint64_t> res) {
-          if (res.ok()) {
-            on_page(i, Status::Ok(), *res);
-          } else {
-            on_page(i, res.status(), 0);
-          }
-        });
+        ftl_->Read(
+            lba,
+            [on_page, i](StatusOr<std::uint64_t> res) {
+              if (res.ok()) {
+                on_page(i, Status::Ok(), *res);
+              } else {
+                on_page(i, res.status(), 0);
+              }
+            },
+            page_ctx());
       }
       break;
     case blocklayer::IoOp::kWrite:
@@ -141,13 +190,18 @@ void Device::SubmitPageOps(
         const Lba lba = request.lba + i;
         const std::uint64_t token = request.tokens[i];
         if (write_buffer_ != nullptr) {
+          // Buffered writes complete at insert; the deferred drain is
+          // background work no single host IO can claim, so spans stop
+          // here and the drain's flash ops run under the default
+          // (kMeta) context.
           write_buffer_->SubmitWrite(lba, token, [on_page, i](Status st) {
             on_page(i, std::move(st), 0);
           });
         } else {
-          ftl_->Write(lba, token, [on_page, i](Status st) {
-            on_page(i, std::move(st), 0);
-          });
+          ftl_->Write(
+              lba, token,
+              [on_page, i](Status st) { on_page(i, std::move(st), 0); },
+              page_ctx());
         }
       }
       break;
@@ -155,9 +209,10 @@ void Device::SubmitPageOps(
       for (std::uint32_t i = 0; i < request.nblocks; ++i) {
         const Lba lba = request.lba + i;
         if (write_buffer_ != nullptr) write_buffer_->Drop(lba);
-        ftl_->Trim(lba, [on_page, i](Status st) {
-          on_page(i, std::move(st), 0);
-        });
+        ftl_->Trim(
+            lba,
+            [on_page, i](Status st) { on_page(i, std::move(st), 0); },
+            page_ctx());
       }
       break;
     case blocklayer::IoOp::kFlush: {

@@ -13,6 +13,8 @@
 #include "ssd/config.h"
 #include "ssd/controller.h"
 #include "ssd/write_buffer.h"
+#include "trace/trace.h"
+#include "trace/tracer.h"
 
 namespace postblock::ssd {
 
@@ -58,7 +60,13 @@ class Device : public blocklayer::BlockDevice {
   Status PowerCycle();
 
  private:
-  void SubmitPageOps(const std::shared_ptr<blocklayer::IoRequest>& req);
+  /// `root` = this device minted the request's span (no layer above is
+  /// tracing), so it records the end-to-end kIo span; `submit_t` is when
+  /// Submit() saw the request (kIo start, before admission cost).
+  void SubmitPageOps(const std::shared_ptr<blocklayer::IoRequest>& req,
+                     bool root, SimTime submit_t);
+
+  bool Traced() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   sim::Simulator* sim_;
   Config config_;
@@ -71,6 +79,9 @@ class Device : public blocklayer::BlockDevice {
   Histogram read_latency_;
   Histogram write_latency_;
   Counters counters_;
+
+  trace::Tracer* tracer_ = nullptr;  // == config_.tracer
+  std::uint32_t dev_track_ = 0;      // "ssd-device" (host pid)
 };
 
 /// Builds the FTL named by `config.ftl` over `controller`.

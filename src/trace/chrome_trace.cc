@@ -1,0 +1,189 @@
+#include "trace/chrome_trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+
+namespace postblock::trace {
+
+namespace {
+
+void AppendMetaEvent(std::string* out, const char* kind, std::uint32_t pid,
+                     std::uint32_t tid, const std::string& name,
+                     bool thread_level) {
+  char buf[256];
+  if (thread_level) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}},\n",
+                  kind, pid, tid, name.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}},\n",
+                  kind, pid, name.c_str());
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ToChromeJson(const Tracer& tracer) {
+  std::string out;
+  out.reserve(256 + tracer.size() * 160);
+  out += "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+
+  // Metadata: one process_name per distinct pid, one thread_name per
+  // registered track.
+  std::set<std::uint32_t> pids;
+  for (const auto& t : tracer.tracks()) {
+    if (pids.insert(t.pid).second) {
+      AppendMetaEvent(&out, "process_name", t.pid, 0, PidName(t.pid),
+                      /*thread_level=*/false);
+    }
+    AppendMetaEvent(&out, "thread_name", t.pid, t.tid, t.name,
+                    /*thread_level=*/true);
+  }
+
+  const auto& tracks = tracer.tracks();
+  char buf[320];
+  tracer.ForEach([&](const TraceEvent& e) {
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    if (e.track < tracks.size()) {
+      pid = tracks[e.track].pid;
+      tid = tracks[e.track].tid;
+    }
+    // ts/dur in microseconds with ns precision kept as fractions.
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,\"args\":{\"span\":%llu,"
+        "\"parent\":%llu,\"arg\":%llu}},\n",
+        StageName(e.stage), OriginName(e.origin),
+        static_cast<double>(e.start) / 1e3,
+        static_cast<double>(e.dur()) / 1e3, pid, tid,
+        static_cast<unsigned long long>(e.span),
+        static_cast<unsigned long long>(e.parent),
+        static_cast<unsigned long long>(e.arg));
+    out += buf;
+  });
+
+  // Trim the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return Status::Unavailable("cannot open trace output: " + path);
+  }
+  const std::string json = ToChromeJson(tracer);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.close();
+  if (!f) {
+    return Status::DataLoss("short write to trace output: " + path);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// --- Minimal re-parser for the exporter's own output. ----------------
+
+/// Extracts the string value of `"key":"..."` inside `obj`, or "".
+std::string FindString(const std::string& obj, const char* key) {
+  const std::string pat = std::string("\"") + key + "\":\"";
+  const std::size_t at = obj.find(pat);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + pat.size();
+  const std::size_t end = obj.find('"', begin);
+  if (end == std::string::npos) return "";
+  return obj.substr(begin, end - begin);
+}
+
+/// Extracts the numeric value of `"key":123[.456]` inside `obj`.
+double FindNumber(const std::string& obj, const char* key, bool* found) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const std::size_t at = obj.find(pat);
+  if (at == std::string::npos) {
+    if (found != nullptr) *found = false;
+    return 0;
+  }
+  if (found != nullptr) *found = true;
+  return std::strtod(obj.c_str() + at + pat.size(), nullptr);
+}
+
+}  // namespace
+
+bool ParseChromeTrace(const std::string& json,
+                      std::vector<ParsedEvent>* events) {
+  events->clear();
+  const std::size_t arr = json.find("\"traceEvents\"");
+  if (arr == std::string::npos) return false;
+  const std::size_t open = json.find('[', arr);
+  if (open == std::string::npos) return false;
+
+  std::size_t i = open + 1;
+  int array_depth = 1;
+  while (i < json.size() && array_depth > 0) {
+    const char c = json[i];
+    if (c == ']') {
+      --array_depth;
+      ++i;
+      continue;
+    }
+    if (c != '{') {
+      ++i;
+      continue;
+    }
+    // Scan one event object, tracking nested braces ("args" objects).
+    const std::size_t obj_begin = i;
+    int depth = 0;
+    for (; i < json.size(); ++i) {
+      if (json[i] == '{') ++depth;
+      if (json[i] == '}') {
+        --depth;
+        if (depth == 0) {
+          ++i;
+          break;
+        }
+      }
+    }
+    if (depth != 0) return false;  // unbalanced
+    std::string obj = json.substr(obj_begin, i - obj_begin);
+
+    ParsedEvent e;
+    // Split off the args object first so its "name" (in metadata
+    // events) doesn't shadow the event's own name.
+    const std::size_t args_at = obj.find("\"args\":");
+    std::string args;
+    if (args_at != std::string::npos) {
+      args = obj.substr(args_at);
+      obj.erase(args_at);
+    }
+    e.name = FindString(obj, "name");
+    e.cat = FindString(obj, "cat");
+    const std::string ph = FindString(obj, "ph");
+    e.ph = ph.empty() ? '?' : ph[0];
+    e.ts_us = FindNumber(obj, "ts", nullptr);
+    e.dur_us = FindNumber(obj, "dur", nullptr);
+    e.pid = static_cast<std::uint64_t>(FindNumber(obj, "pid", nullptr));
+    e.tid = static_cast<std::uint64_t>(FindNumber(obj, "tid", nullptr));
+    e.span = static_cast<std::uint64_t>(FindNumber(args, "span", nullptr));
+    e.parent =
+        static_cast<std::uint64_t>(FindNumber(args, "parent", nullptr));
+    e.arg = static_cast<std::uint64_t>(FindNumber(args, "arg", nullptr));
+    e.meta_name = FindString(args, "name");
+    events->push_back(std::move(e));
+  }
+  return array_depth == 0;
+}
+
+}  // namespace postblock::trace

@@ -1,0 +1,50 @@
+#ifndef POSTBLOCK_TRACE_CHROME_TRACE_H_
+#define POSTBLOCK_TRACE_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/tracer.h"
+
+namespace postblock::trace {
+
+/// Serializes the tracer's retained events as Chrome trace-event JSON
+/// (the JSON Object Format: {"traceEvents": [...]}), loadable in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing. Stage intervals
+/// become "X" (complete) events with ts/dur in microseconds; track
+/// names become "M" process_name/thread_name metadata. Span/parent/arg
+/// ride in "args" so a span can be followed across layers by searching
+/// its id.
+std::string ToChromeJson(const Tracer& tracer);
+
+/// ToChromeJson + write to `path`.
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+/// One event as re-read by ParseChromeTrace (tests and tools only).
+struct ParsedEvent {
+  std::string name;
+  std::string cat;
+  char ph = '?';
+  double ts_us = 0;
+  double dur_us = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t tid = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t arg = 0;
+  /// For "M" metadata events: args.name (the process/thread name).
+  std::string meta_name;
+};
+
+/// Minimal re-parser for the exporter's own output — just enough JSON
+/// to round-trip what ToChromeJson emits, used by tests to validate the
+/// export without an external JSON dependency. Returns false on
+/// structural errors (missing traceEvents array, unbalanced braces).
+bool ParseChromeTrace(const std::string& json,
+                      std::vector<ParsedEvent>* events);
+
+}  // namespace postblock::trace
+
+#endif  // POSTBLOCK_TRACE_CHROME_TRACE_H_

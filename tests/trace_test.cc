@@ -1,0 +1,404 @@
+// Cross-layer latency-attribution subsystem (src/trace/) tests.
+//
+// Covers the tracer core (ring wraparound, disabled behavior, the
+// drop-proof breakdown), the Chrome trace-event exporter round-trip,
+// and the whole-stack contracts: stage spans tile each host IO exactly,
+// GC-stall spans sum to the controller's always-on stall counters
+// (the fig2 interference experiment), tracing never perturbs the
+// simulated schedule, and spans propagate from the block layer down.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocklayer/block_layer.h"
+#include "sim/simulator.h"
+#include "ssd/device.h"
+#include "trace/chrome_trace.h"
+#include "trace/tracer.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+using trace::Origin;
+using trace::Stage;
+using trace::TraceEvent;
+using trace::Tracer;
+
+// --- Tracer core ------------------------------------------------------------
+
+TEST(TracerRingTest, WraparoundKeepsNewestEvents) {
+  Tracer tracer(50);  // rounds up to 64
+  tracer.set_enabled(true);
+  EXPECT_EQ(tracer.capacity(), 64u);
+
+  const std::uint32_t track = tracer.RegisterTrack(trace::kPidHost, "t");
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    tracer.Record(Stage::kCellOp, Origin::kHostRead, /*span=*/i + 1,
+                  /*parent=*/0, track, /*start=*/i * 10,
+                  /*end=*/i * 10 + 5, /*arg=*/i);
+  }
+  EXPECT_EQ(tracer.total_recorded(), 200u);
+  EXPECT_EQ(tracer.dropped(), 200u - 64u);
+  EXPECT_EQ(tracer.size(), 64u);
+
+  // ForEach visits the retained (newest) events oldest-first.
+  std::uint64_t expect_arg = tracer.dropped();
+  tracer.ForEach([&](const TraceEvent& e) {
+    EXPECT_EQ(e.arg, expect_arg);
+    EXPECT_EQ(e.span, expect_arg + 1);
+    ++expect_arg;
+  });
+  EXPECT_EQ(expect_arg, 200u);
+}
+
+TEST(TracerRingTest, DisabledTracerRecordsNothingAndMintsNoSpans) {
+  Tracer tracer(64);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.NewSpan(), 0u);
+  tracer.Record(Stage::kIo, Origin::kHostWrite, 1, 0, 0, 0, 100);
+  tracer.Mark(Stage::kSchedule, Origin::kHostWrite, 1, 0, 50);
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.breakdown().Count(Stage::kIo), 0u);
+
+  tracer.set_enabled(true);
+  EXPECT_EQ(tracer.NewSpan(), 1u);
+  tracer.Record(Stage::kIo, Origin::kHostWrite, 1, 0, 0, 0, 100);
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+}
+
+TEST(TracerRingTest, BreakdownSurvivesRingWraparound) {
+  Tracer tracer(16);
+  tracer.set_enabled(true);
+  std::uint64_t expect_total = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t dur = 1 + i % 7;
+    tracer.Record(Stage::kTransfer, Origin::kGc, i + 1, 0, 0, 0, dur);
+    expect_total += dur;
+  }
+  ASSERT_GT(tracer.dropped(), 0u);
+  // The ring truncates the timeline; the aggregate must not.
+  EXPECT_EQ(tracer.breakdown().Count(Stage::kTransfer), 1000u);
+  EXPECT_EQ(tracer.breakdown().TotalNs(Stage::kTransfer, Origin::kGc),
+            expect_total);
+}
+
+// --- Chrome trace exporter round-trip ---------------------------------------
+
+TEST(ChromeTraceTest, RoundTripPreservesEventsTracksAndOrder) {
+  Tracer tracer(1 << 10);
+  tracer.set_enabled(true);
+  const std::uint32_t host = tracer.RegisterTrack(trace::kPidHost, "blkq-0");
+  const std::uint32_t lun = tracer.RegisterTrack(trace::kPidFlash, "lun-0.0");
+
+  tracer.Record(Stage::kIo, Origin::kHostRead, /*span=*/7, 0, host,
+                /*start=*/1000, /*end=*/26000, /*arg=*/42);
+  tracer.Record(Stage::kCellOp, Origin::kHostRead, 7, 0, lun, 2000, 22000,
+                /*arg=*/9);
+  tracer.Record(Stage::kTransfer, Origin::kGc, /*span=*/8, /*parent=*/7,
+                lun, 22000, 24500);
+
+  std::vector<trace::ParsedEvent> events;
+  ASSERT_TRUE(trace::ParseChromeTrace(trace::ToChromeJson(tracer), &events));
+
+  // Metadata: a process_name per pid and a thread_name per track.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> threads;
+  std::map<std::uint64_t, std::string> processes;
+  std::vector<trace::ParsedEvent> xs;
+  for (const auto& e : events) {
+    if (e.ph == 'M' && e.name == "thread_name") {
+      threads[{e.pid, e.tid}] = e.meta_name;
+    } else if (e.ph == 'M' && e.name == "process_name") {
+      processes[e.pid] = e.meta_name;
+    } else if (e.ph == 'X') {
+      xs.push_back(e);
+    }
+  }
+  EXPECT_EQ(processes[trace::kPidHost], "host");
+  EXPECT_EQ(processes[trace::kPidFlash], "flash");
+  ASSERT_EQ(tracer.tracks().size(), 2u);
+  const auto& t0 = tracer.tracks()[host];
+  const auto& t1 = tracer.tracks()[lun];
+  EXPECT_EQ((threads[{t0.pid, t0.tid}]), "blkq-0");
+  EXPECT_EQ((threads[{t1.pid, t1.tid}]), "lun-0.0");
+
+  // Every retained event exports as one "X" with ts/dur in us, in
+  // recording (oldest-first) order, span/parent/arg intact.
+  ASSERT_EQ(xs.size(), tracer.size());
+  EXPECT_EQ(xs[0].name, "io");
+  EXPECT_EQ(xs[0].cat, "host_read");
+  EXPECT_DOUBLE_EQ(xs[0].ts_us, 1.0);
+  EXPECT_DOUBLE_EQ(xs[0].dur_us, 25.0);
+  EXPECT_EQ(xs[0].pid, t0.pid);
+  EXPECT_EQ(xs[0].tid, t0.tid);
+  EXPECT_EQ(xs[0].span, 7u);
+  EXPECT_EQ(xs[0].arg, 42u);
+  EXPECT_EQ(xs[1].name, "cell_op");
+  EXPECT_EQ(xs[1].pid, t1.pid);
+  EXPECT_EQ(xs[2].name, "transfer");
+  EXPECT_EQ(xs[2].cat, "gc");
+  EXPECT_EQ(xs[2].span, 8u);
+  EXPECT_EQ(xs[2].parent, 7u);
+  EXPECT_DOUBLE_EQ(xs[2].dur_us, 2.5);
+}
+
+TEST(ChromeTraceTest, RoundTripAfterWraparound) {
+  Tracer tracer(64);
+  tracer.set_enabled(true);
+  const std::uint32_t track = tracer.RegisterTrack(trace::kPidFlash, "ch");
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    tracer.Record(Stage::kTransfer, Origin::kHostWrite, i + 1, 0, track,
+                  i * 100, i * 100 + 50, /*arg=*/i);
+  }
+  std::vector<trace::ParsedEvent> events;
+  ASSERT_TRUE(trace::ParseChromeTrace(trace::ToChromeJson(tracer), &events));
+  std::vector<trace::ParsedEvent> xs;
+  for (const auto& e : events) {
+    if (e.ph == 'X') xs.push_back(e);
+  }
+  // Only the newest `capacity` events survive, still oldest-first.
+  ASSERT_EQ(xs.size(), 64u);
+  EXPECT_EQ(xs.front().arg, 500u - 64u);
+  EXPECT_EQ(xs.back().arg, 499u);
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_EQ(xs[i].arg, xs[i - 1].arg + 1);
+  }
+}
+
+// --- Whole-stack contracts --------------------------------------------------
+
+// Drives `ops` random single-page IOs (QD `depth`) against `device`.
+void RunRandom(sim::Simulator* sim, blocklayer::BlockDevice* device,
+               bool writes, std::uint64_t ops, std::uint32_t depth,
+               std::uint64_t seed) {
+  workload::RandomPattern pattern(0, device->num_blocks(), writes, 1, seed);
+  const auto r = workload::RunClosedLoop(sim, device, &pattern, ops, depth);
+  ASSERT_EQ(r.errors, 0u);
+}
+
+// Ages a device past its first GC: sequential fill + random overwrite
+// churn of twice the logical space.
+void Age(sim::Simulator* sim, blocklayer::BlockDevice* device) {
+  const std::uint64_t n = device->num_blocks();
+  workload::SequentialPattern fill(0, n, /*is_write=*/true);
+  (void)workload::RunClosedLoop(sim, device, &fill, n, 8);
+  RunRandom(sim, device, /*writes=*/true, 2 * n, 8, /*seed=*/99);
+}
+
+// For a single-page unbuffered host IO the stage spans tile
+// [submit, complete) exactly: queue waits, GC stalls, firmware
+// admission, FTL mapping, bus transfers and array ops account for every
+// nanosecond of the root kIo span. This is the subsystem's core
+// accuracy contract — no hidden time, no double counting.
+TEST(TraceStackTest, StageSpansTileEachHostIoExactly) {
+  Tracer tracer(1 << 20);
+  tracer.set_enabled(true);
+
+  sim::Simulator sim;
+  ssd::Config cfg = ssd::Config::Small();
+  cfg.write_buffer.pages = 0;  // unbuffered: spans reach the flash
+  cfg.tracer = &tracer;
+  ssd::Device device(&sim, cfg);
+
+  Age(&sim, &device);  // GC live -> kGcStall spans participate too
+  RunRandom(&sim, &device, /*writes=*/true, 2000, 4, /*seed=*/7);
+  RunRandom(&sim, &device, /*writes=*/false, 2000, 4, /*seed=*/8);
+
+  ASSERT_EQ(tracer.dropped(), 0u) << "ring too small for the workload";
+
+  struct SpanSums {
+    std::uint64_t io = 0;
+    std::uint64_t stages = 0;
+    bool has_io = false;
+    bool is_gc = false;
+  };
+  std::map<trace::SpanId, SpanSums> spans;
+  tracer.ForEach([&](const TraceEvent& e) {
+    SpanSums& s = spans[e.span];
+    if (e.stage == Stage::kIo) {
+      s.io = e.dur();
+      s.has_io = true;
+    } else if (e.stage == Stage::kGc) {
+      s.is_gc = true;  // background collection span, not a host IO
+    } else {
+      s.stages += e.dur();
+    }
+  });
+
+  std::uint64_t host_spans = 0;
+  for (const auto& [span, s] : spans) {
+    if (!s.has_io) continue;
+    ASSERT_FALSE(s.is_gc);
+    ++host_spans;
+    EXPECT_EQ(s.stages, s.io) << "span " << span
+                              << ": stage spans do not tile the IO";
+  }
+  // Every host IO of the whole run (aging included) produced a root span.
+  EXPECT_EQ(host_spans, device.counters().Get("completions"));
+
+  // The same invariant, via the aggregate: attributed ns == end-to-end ns.
+  const auto& b = tracer.breakdown();
+  for (const Origin o : {Origin::kHostRead, Origin::kHostWrite}) {
+    EXPECT_EQ(b.AttributedNs(o), b.TotalNs(Stage::kIo, o));
+  }
+}
+
+// The fig2 experiment, asserted: on an aged device with a concurrent
+// write stream, victim reads carry kGcStall spans whose total equals
+// the controller's always-on GC-stall counters — span attribution and
+// integer accounting are two views of the same BusyClock arithmetic.
+TEST(TraceStackTest, GcStallSpansMatchControllerCounters) {
+  Tracer tracer(1 << 20);
+  tracer.set_enabled(true);
+
+  sim::Simulator sim;
+  ssd::Config cfg = ssd::Config::Small();
+  cfg.over_provisioning = 0.10;  // tight spare space keeps GC busy
+  cfg.write_buffer.pages = 0;
+  cfg.tracer = &tracer;
+  ssd::Device device(&sim, cfg);
+  const std::uint64_t n = device.num_blocks();
+
+  Age(&sim, &device);
+
+  // Concurrent QD2 random-write stream keeps GC live during the reads.
+  auto stop = std::make_shared<bool>(false);
+  auto pattern = std::make_shared<workload::RandomPattern>(
+      0, n, /*is_write=*/true, 1, 7);
+  auto issue = std::make_shared<std::function<void()>>();
+  *issue = [&sim, &device, stop, pattern, issue]() {
+    if (*stop) return;
+    const workload::IoDesc d = pattern->Next();
+    blocklayer::IoRequest w;
+    w.op = blocklayer::IoOp::kWrite;
+    w.lba = d.lba;
+    w.nblocks = 1;
+    w.tokens = {1};
+    w.on_complete = [issue, stop](const blocklayer::IoResult&) {
+      if (!*stop) (*issue)();
+    };
+    device.Submit(std::move(w));
+  };
+  (*issue)();
+  (*issue)();
+  RunRandom(&sim, &device, /*writes=*/false, 4000, 4, /*seed=*/8);
+  *stop = true;
+  *issue = nullptr;  // break the self-reference
+  sim.Run();
+
+  ASSERT_GT(device.ftl()->counters().Get("gc_page_moves"), 0u);
+
+  // GC must be visible in the reads' attribution...
+  const auto& b = tracer.breakdown();
+  EXPECT_GT(b.TotalNs(Stage::kGcStall, Origin::kHostRead), 0u);
+  EXPECT_GT(b.Count(Stage::kGcStall, Origin::kHostRead), 0u);
+  // ...and the span view must agree with the counter view exactly.
+  // (The breakdown sees every event, so this holds even if the ring
+  // wrapped.)
+  EXPECT_EQ(b.TotalNs(Stage::kGcStall, Origin::kHostRead),
+            device.controller()->GcStallReadNs());
+  EXPECT_EQ(b.TotalNs(Stage::kGcStall, Origin::kHostWrite),
+            device.controller()->GcStallWriteNs());
+}
+
+// Tracing observes the schedule; it must never change it. The same
+// workload with no tracer, a disabled tracer and a recording tracer
+// must land on the same simulated end time and do the same work.
+TEST(TraceStackTest, TracingNeverPerturbsTheSchedule) {
+  struct Outcome {
+    SimTime end = 0;
+    std::uint64_t ios = 0;
+    std::uint64_t gc_moves = 0;
+  };
+  auto run = [](Tracer* tracer) {
+    sim::Simulator sim;
+    ssd::Config cfg = ssd::Config::Small();
+    cfg.tracer = tracer;
+    ssd::Device device(&sim, cfg);
+    Age(&sim, &device);
+    RunRandom(&sim, &device, /*writes=*/false, 1000, 4, /*seed=*/8);
+    sim.Run();
+    return Outcome{sim.Now(), device.counters().Get("completions"),
+                   device.ftl()->counters().Get("gc_page_moves")};
+  };
+
+  const Outcome untraced = run(nullptr);
+  Tracer disabled(1 << 12);
+  const Outcome with_disabled = run(&disabled);
+  Tracer enabled(1 << 12);
+  enabled.set_enabled(true);
+  const Outcome with_enabled = run(&enabled);
+
+  EXPECT_GT(untraced.gc_moves, 0u);
+  for (const Outcome& o : {with_disabled, with_enabled}) {
+    EXPECT_EQ(o.end, untraced.end);
+    EXPECT_EQ(o.ios, untraced.ios);
+    EXPECT_EQ(o.gc_moves, untraced.gc_moves);
+  }
+  EXPECT_EQ(disabled.total_recorded(), 0u);
+  EXPECT_GT(enabled.total_recorded(), 0u);
+}
+
+// With a block layer on top, the root span is minted there (the whole
+// software stack is attributed, not just the device) and the device
+// inherits it instead of minting its own.
+TEST(BlockLayerTraceTest, RootSpanMintedAboveTheDevice) {
+  Tracer tracer(1 << 18);
+  tracer.set_enabled(true);
+
+  sim::Simulator sim;
+  ssd::Config cfg = ssd::Config::Small();
+  cfg.tracer = &tracer;
+  ssd::Device device(&sim, cfg);
+  blocklayer::BlockLayerConfig bl_cfg;
+  bl_cfg.tracer = &tracer;
+  blocklayer::BlockLayer layer(&sim, &device, bl_cfg);
+
+  const std::uint64_t n = layer.num_blocks();
+  workload::SequentialPattern fill(0, n / 2, /*is_write=*/true);
+  (void)workload::RunClosedLoop(&sim, &layer, &fill, n / 2, 8);
+  RunRandom(&sim, &layer, /*writes=*/false, 500, 8, /*seed=*/5);
+  sim.Run();
+
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  // Exactly one root kIo span per block-layer request, all recorded on
+  // host-pid tracks (the block layer, not the device, owns the root).
+  const std::uint64_t requests = layer.counters().Get("completed");
+  std::uint64_t io_events = 0;
+  std::map<trace::SpanId, bool> io_span_reached_flash;
+  tracer.ForEach([&](const TraceEvent& e) {
+    if (e.stage == Stage::kIo) {
+      ++io_events;
+      EXPECT_EQ(tracer.tracks()[e.track].pid, trace::kPidHost);
+      io_span_reached_flash.emplace(e.span, false);
+    }
+  });
+  EXPECT_EQ(io_events, requests);
+  EXPECT_EQ(tracer.breakdown().Count(Stage::kIo), requests);
+
+  // The same span ids show up again below the device: cross-layer
+  // propagation, not per-layer re-minting. (Buffered writes stop at
+  // the cache, so only some spans reach flash tracks — but reads must.)
+  tracer.ForEach([&](const TraceEvent& e) {
+    if (e.stage == Stage::kIo) return;
+    auto it = io_span_reached_flash.find(e.span);
+    if (it != io_span_reached_flash.end() &&
+        tracer.tracks()[e.track].pid == trace::kPidFlash) {
+      it->second = true;
+    }
+  });
+  std::uint64_t reached = 0;
+  for (const auto& [span, hit] : io_span_reached_flash) {
+    if (hit) ++reached;
+  }
+  EXPECT_GT(reached, 0u);
+}
+
+}  // namespace
+}  // namespace postblock
