@@ -17,6 +17,13 @@
 // time split across queues, FTL, GC and flash:
 //
 //   $ ./trace_replay --trace-out=replay.trace.json
+//
+// --metrics-out=PATH attaches the metrics registry and samples the
+// whole stack every millisecond of sim time, dumping the windowed
+// time series (CSV, or JSON when PATH ends in .json) — feed it to
+// run_report or any plotting tool:
+//
+//   $ ./trace_replay --metrics-out=replay.metrics.csv
 
 #include <cstdio>
 #include <fstream>
@@ -26,6 +33,8 @@
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
 #include "sim/simulator.h"
 #include "ssd/device.h"
 #include "trace/chrome_trace.h"
@@ -100,17 +109,26 @@ std::vector<TraceEntry> SampleTrace(std::uint64_t device_blocks) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --trace-out=PATH wherever it appears; the remaining
-  // positional args keep their old meaning (trace file, FTL kind).
+  // Peel off --trace-out=PATH / --metrics-out=PATH wherever they
+  // appear; the remaining positional args keep their old meaning
+  // (trace file, FTL kind).
   std::string trace_out;
+  std::string metrics_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     const std::string kFlag = "--trace-out=";
+    const std::string kMetricsFlag = "--metrics-out=";
     if (a.rfind(kFlag, 0) == 0) {
       trace_out = a.substr(kFlag.size());
       if (trace_out.empty()) {
         std::fprintf(stderr, "--trace-out needs a path\n");
+        return 1;
+      }
+    } else if (a.rfind(kMetricsFlag, 0) == 0) {
+      metrics_out = a.substr(kMetricsFlag.size());
+      if (metrics_out.empty()) {
+        std::fprintf(stderr, "--metrics-out needs a path\n");
         return 1;
       }
     } else {
@@ -132,7 +150,11 @@ int main(int argc, char** argv) {
     tracer.set_enabled(true);
     cfg.tracer = &tracer;
   }
+  metrics::MetricRegistry registry;
+  if (!metrics_out.empty()) cfg.metrics = &registry;
   ssd::Device device(&sim, cfg);
+  metrics::Sampler sampler(&sim, &registry, /*interval_ns=*/1'000'000);
+  if (!metrics_out.empty()) sampler.Start();
 
   const std::vector<TraceEntry> trace =
       !args.empty() ? LoadTrace(args[0], device.num_blocks())
@@ -187,6 +209,7 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 16; ++i) issue();
   sim.RunUntilPredicate([&] { return completed >= trace.size(); });
   sim.Run();
+  sampler.Stop();
   const double seconds =
       static_cast<double>(sim.Now() - start) / 1e9;
 
@@ -225,6 +248,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(tracer.total_recorded()),
         static_cast<unsigned long long>(tracer.dropped()),
         tracer.breakdown().Summary().c_str());
+  }
+  if (!metrics_out.empty()) {
+    const bool json = metrics_out.size() >= 5 &&
+                      metrics_out.rfind(".json") == metrics_out.size() - 5;
+    const Status st = json ? sampler.series().WriteJson(metrics_out)
+                           : sampler.series().WriteCsv(metrics_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", metrics_out.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nwrote %s: %llu samples x %zu metrics (1 ms sim interval) — "
+        "feed to run_report or any plotting tool\n",
+        metrics_out.c_str(),
+        static_cast<unsigned long long>(sampler.samples_taken()),
+        sampler.series().columns().size());
   }
   return 0;
 }

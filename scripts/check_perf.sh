@@ -12,7 +12,11 @@
 #      The "meta" key (git SHA, device shape) is ignored when comparing;
 #   3. the tracing subsystem: a disabled tracer must cost <= 2% wall
 #      clock over the fig2 GC workload, and tracing in any mode must not
-#      perturb the simulated schedule.
+#      perturb the simulated schedule;
+#   4. the metrics subsystem: an attached registry (no sampler) must
+#      cost <= 2% wall clock over the same workload, sampling must not
+#      perturb the device schedule, and the final sampled cumulative
+#      rows must equal the stack's Counters.
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -24,12 +28,14 @@ TOLERANCE=0.15
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
-  -j "$(nproc)" >/dev/null
+  bench_metrics_overhead -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
 ( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
+( cd "$BUILD_DIR" && ./bench/bench_metrics_overhead )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
 TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
+METRICS_RESULT="$BUILD_DIR/BENCH_metrics_overhead.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -107,4 +113,31 @@ if failures:
     sys.exit(1)
 print(f"check_perf: OK (disabled-tracer overhead {ovh:.1%} <= 2%, "
       "schedule unperturbed)")
+EOF
+
+python3 - "$METRICS_RESULT" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+failures = []
+
+# "deterministic" covers both the device-schedule comparison and the
+# final-row-vs-Counters cross-check (the bench folds both into one bit).
+if not result.get("deterministic", False):
+    failures.append(
+        "metrics perturbed the device schedule or the final sampled "
+        "rows diverged from the stack's Counters")
+ovh = result.get("attached", {}).get("overhead_vs_none", 1.0)
+if ovh > 0.02:
+    failures.append(
+        f"attached-registry overhead {ovh:.1%} exceeds the 2% budget")
+
+if failures:
+    print("check_perf: FAIL (metrics overhead)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"check_perf: OK (attached-registry overhead {ovh:.1%} <= 2%, "
+      "device schedule unperturbed, Counters cross-check exact)")
 EOF

@@ -27,6 +27,32 @@ BlockLayer::BlockLayer(sim::Simulator* sim, BlockDevice* lower,
     }
     queues_.push_back(std::move(pair));
   }
+  metrics_ = config_.metrics;
+  if (metrics_ != nullptr) {
+    metrics::MetricRegistry* m = metrics_;
+    m_submitted_ = m->AddCounter("blk.submitted");
+    m_completed_ = m->AddCounter("blk.completed");
+    m_lat_ = m->AddHistogram("blk.lat_ns");
+    m->AddPolledCounter("blk.cpu_busy_ns",
+                        [this] { return cpu_.busy_ns(); });
+    m->AddPolledCounter("blk.back_merges", [this] {
+      std::uint64_t total = 0;
+      for (const auto& p : queues_) {
+        total += p.scheduler->counters().Get("back_merges");
+      }
+      return total;
+    });
+    m->AddGauge("blk.queue_depth", [this] {
+      std::size_t total = 0;
+      for (const auto& p : queues_) total += p.scheduler->depth();
+      return static_cast<double>(total);
+    });
+    m->AddGauge("blk.inflight", [this] {
+      std::uint64_t total = 0;
+      for (const auto& p : queues_) total += p.outstanding;
+      return static_cast<double>(total);
+    });
+  }
 }
 
 BlockLayer::IoState* BlockLayer::AcquireIo() {
@@ -48,6 +74,7 @@ void BlockLayer::ReleaseIo(IoState* st) {
 
 void BlockLayer::Submit(IoRequest request) {
   counters_.Increment("submitted");
+  if (metrics_ != nullptr) metrics_->Increment(m_submitted_);
   IoState* st = AcquireIo();
   st->start = sim_->Now();
   st->epoch = epoch_;
@@ -128,8 +155,13 @@ void BlockLayer::FinishIo(IoState* st) {
     ReleaseIo(st);
     return;
   }
-  latency_.Record(sim_->Now() - st->start);
+  const SimTime latency = sim_->Now() - st->start;
+  latency_.Record(latency);
   counters_.Increment("completed");
+  if (metrics_ != nullptr) {
+    metrics_->Increment(m_completed_);
+    metrics_->Record(m_lat_, latency);
+  }
   if (Traced() && st->span != 0) {
     const std::uint32_t track = q_tracks_[st->q];
     // Completion-side CPU (interrupt or poll) since device completion.

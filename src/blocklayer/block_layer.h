@@ -11,6 +11,7 @@
 #include "blocklayer/request.h"
 #include "common/histogram.h"
 #include "common/stats.h"
+#include "metrics/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -35,6 +36,11 @@ struct BlockLayerConfig {
   /// become spans on a per-queue "blkq-N" track; when null or disabled
   /// the hot path pays only a pointer test.
   trace::Tracer* tracer = nullptr;
+  /// Optional time-series registry (see src/metrics/). When set, the
+  /// layer registers queue depth, inflight, CPU busy time and a
+  /// windowed latency histogram at construction; null costs the hot
+  /// path only a pointer test.
+  metrics::MetricRegistry* metrics = nullptr;
 };
 
 /// The Linux-style block layer: software queues feeding a lower
@@ -128,6 +134,13 @@ class BlockLayer : public BlockDevice {
   Counters counters_;
   trace::Tracer* tracer_;
   std::vector<std::uint32_t> q_tracks_;  // "blkq-N" per queue pair
+
+  // Pushed in parallel with counters_ ("submitted"/"completed") for the
+  // sampler-vs-Counters cross-check.
+  metrics::MetricRegistry* metrics_ = nullptr;
+  metrics::Id m_submitted_ = metrics::kInvalidId;
+  metrics::Id m_completed_ = metrics::kInvalidId;
+  metrics::Id m_lat_ = metrics::kInvalidId;
 };
 
 }  // namespace postblock::blocklayer

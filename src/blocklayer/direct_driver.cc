@@ -34,4 +34,19 @@ void DirectDriver::Submit(IoRequest request) {
                   });
 }
 
+void DirectDriver::RegisterMetrics(metrics::MetricRegistry* m) {
+  m->AddPolledCounter("direct.submitted",
+                      [this] { return counters_.Get("submitted"); });
+  m->AddPolledCounter("direct.completed",
+                      [this] { return counters_.Get("completed"); });
+  m->AddPolledCounter("direct.cpu_busy_ns",
+                      [this] { return cpu_res_.busy_ns(); });
+  m->AddGauge("direct.inflight", [this] {
+    // Submitted-but-not-completed; exact because both counters advance
+    // only in sim callbacks.
+    return static_cast<double>(counters_.Get("submitted") -
+                               counters_.Get("completed"));
+  });
+}
+
 }  // namespace postblock::blocklayer

@@ -7,6 +7,7 @@
 #include "blocklayer/cpu_model.h"
 #include "common/histogram.h"
 #include "common/stats.h"
+#include "metrics/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -35,6 +36,10 @@ class DirectDriver : public BlockDevice {
 
   /// Simulates power loss / host reset: in-flight requests are dropped.
   void PowerCycle() { ++epoch_; }
+
+  /// Registers this driver's time-series streams (polled-only — the
+  /// driver's hot path stays untouched). Call once per registry.
+  void RegisterMetrics(metrics::MetricRegistry* m);
 
  private:
   sim::Simulator* sim_;

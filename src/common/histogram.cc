@@ -63,7 +63,11 @@ double Histogram::Mean() const {
 
 std::uint64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
+  // The extremes are tracked exactly; answer them exactly instead of
+  // with a bucket midpoint (p<=0 would otherwise overshoot min, p>=100
+  // could undershoot max when max sits above its bucket's midpoint).
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
   const double target_rank = p / 100.0 * static_cast<double>(count_);
   std::uint64_t cumulative = 0;
   for (int i = 0; i < kBuckets; ++i) {

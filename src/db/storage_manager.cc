@@ -117,6 +117,7 @@ void StorageManager::Get(std::uint64_t key, GetCb cb) {
 
 void StorageManager::CommitBatch(std::vector<WalOp> ops, StatusCb cb) {
   counters_.Increment("txns");
+  if (metrics_ != nullptr) metrics_->Increment(m_txns_);
   WalBatch batch;
   batch.txn_id = next_txn_id_++;
   batch.ops = std::move(ops);
@@ -124,7 +125,9 @@ void StorageManager::CommitBatch(std::vector<WalOp> ops, StatusCb cb) {
   auto shared_ops = std::make_shared<std::vector<WalOp>>(batch.ops);
   wal_->Commit(batch, [this, shared_ops, start,
                        cb = std::move(cb)](Status st) mutable {
-    commit_latency_.Record(sim_->Now() - start);
+    const SimTime latency = sim_->Now() - start;
+    commit_latency_.Record(latency);
+    if (metrics_ != nullptr) metrics_->Record(m_commit_lat_, latency);
     if (!st.ok()) {
       cb(std::move(st));
       return;
@@ -221,6 +224,56 @@ Status StorageManager::SimulateCrash() {
   // Recover() re-attaches them to the durable state.
   RebuildVolatileState();
   return Status::Ok();
+}
+
+void StorageManager::RegisterMetrics(metrics::MetricRegistry* m) {
+  metrics_ = m;
+  m_txns_ = m->AddCounter("db.txns");
+  m_commit_lat_ = m->AddHistogram("db.commit_lat_ns");
+  m->AddPolledCounter("db.gets",
+                      [this] { return counters_.Get("gets"); });
+  m->AddPolledCounter("db.checkpoints",
+                      [this] { return counters_.Get("checkpoints"); });
+  // WAL: commit rate and logical bytes synced through the store (the
+  // classic-mode padding overhead is sync_padded_bytes - sync_bytes).
+  m->AddPolledCounter("wal.commits", [this] {
+    return wal_->counters().Get("commits");
+  });
+  m->AddPolledCounter("wal.ops_logged", [this] {
+    return wal_->counters().Get("ops_logged");
+  });
+  m->AddPolledCounter("wal.bytes", [this] {
+    return store_->counters().Get("sync_bytes");
+  });
+  m->AddPolledCounter("wal.padded_bytes", [this] {
+    return store_->counters().Get("sync_padded_bytes");
+  });
+  static constexpr const char* kPool[] = {"hits", "misses", "evictions",
+                                          "writebacks"};
+  for (const char* name : kPool) {
+    m->AddPolledCounter(std::string("bp.") + name, [this, name] {
+      return pool_->counters().Get(name);
+    });
+  }
+  m->AddGauge("bp.hit_rate", [this] {
+    const double hits =
+        static_cast<double>(pool_->counters().Get("hits"));
+    const double misses =
+        static_cast<double>(pool_->counters().Get("misses"));
+    return hits + misses == 0 ? 0.0 : hits / (hits + misses);
+  });
+  static constexpr const char* kTree[] = {"gets", "puts", "deletes",
+                                          "node_splits"};
+  for (const char* name : kTree) {
+    m->AddPolledCounter(std::string("bt.") + name, [this, name] {
+      return tree_->counters().Get(name);
+    });
+  }
+  // Vision-mode substrate registers itself; the classic-mode block
+  // layer registers at construction via StorageConfig::block_layer
+  // .metrics (ctor-time wiring, like the device's Config::metrics).
+  if (direct_ != nullptr) direct_->RegisterMetrics(m);
+  if (pcm_ != nullptr) pcm_->RegisterMetrics(m);
 }
 
 }  // namespace postblock::db

@@ -16,6 +16,7 @@
 #include "db/heap_file.h"
 #include "db/page_image.h"
 #include "db/wal.h"
+#include "metrics/metrics.h"
 #include "pcm/pcm_device.h"
 #include "ssd/device.h"
 
@@ -97,6 +98,12 @@ class StorageManager {
   /// Commit (WAL durability) latency distribution.
   const Histogram& commit_latency() const { return commit_latency_; }
 
+  /// Registers the DB layer's time-series streams: transaction/commit
+  /// rates, WAL bytes, buffer-pool hit rate, B+-tree page IOs, plus a
+  /// windowed commit-latency histogram. Call once, after construction,
+  /// with the same registry attached to the device stack below.
+  void RegisterMetrics(metrics::MetricRegistry* m);
+
  private:
   friend struct RecoveryDriver;
 
@@ -131,6 +138,12 @@ class StorageManager {
   std::uint64_t next_txn_id_ = 1;
   Counters counters_;
   Histogram commit_latency_;
+
+  // Pushed in parallel with counters_ ("txns") and commit_latency_ for
+  // the sampler-vs-Counters cross-check and windowed commit p99.
+  metrics::MetricRegistry* metrics_ = nullptr;
+  metrics::Id m_txns_ = metrics::kInvalidId;
+  metrics::Id m_commit_lat_ = metrics::kInvalidId;
 };
 
 }  // namespace postblock::db

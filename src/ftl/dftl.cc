@@ -27,6 +27,35 @@ double Dftl::WriteAmplification() const {
          static_cast<double>(host);
 }
 
+void Dftl::RegisterMetrics(metrics::MetricRegistry* m) {
+  // Replaces the default wholesale: host-facing counters live here, but
+  // GC runs against the internal PageFtl that carries both data and map
+  // traffic — reading them from this->counters() would report zeros.
+  static constexpr const char* kHost[] = {"host_reads", "host_writes",
+                                          "trims"};
+  for (const char* name : kHost) {
+    m->AddPolledCounter(std::string("ftl.") + name,
+                        [this, name] { return counters_.Get(name); });
+  }
+  static constexpr const char* kInner[] = {"gc_runs", "gc_erases",
+                                           "gc_page_moves", "write_stalls"};
+  for (const char* name : kInner) {
+    m->AddPolledCounter(std::string("ftl.") + name, [this, name] {
+      return base_->counters().Get(name);
+    });
+  }
+  m->AddGauge("ftl.write_amplification",
+              [this] { return WriteAmplification(); });
+  static constexpr const char* kCmt[] = {"cmt_hits", "cmt_misses",
+                                         "map_reads", "map_writes"};
+  for (const char* name : kCmt) {
+    m->AddPolledCounter(std::string("dftl.") + name,
+                        [this, name] { return counters_.Get(name); });
+  }
+  m->AddGauge("dftl.cmt_pages",
+              [this] { return static_cast<double>(cmt_.size()); });
+}
+
 void Dftl::FinishFetch(std::uint64_t tp) {
   auto it = fetch_waiters_.find(tp);
   if (it == fetch_waiters_.end()) return;

@@ -44,6 +44,7 @@ class Dftl : public Ftl {
   std::uint64_t user_pages() const override { return user_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;
+  void RegisterMetrics(metrics::MetricRegistry* m) override;
 
   /// CMT occupancy (tests).
   std::size_t cached_translation_pages() const { return cmt_.size(); }

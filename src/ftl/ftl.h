@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <functional>
 
+#include <string>
+
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/types.h"
+#include "metrics/metrics.h"
 #include "trace/trace.h"
 
 namespace postblock::ftl {
@@ -50,6 +53,24 @@ class Ftl {
   /// Write amplification so far: flash pages programmed / host pages
   /// written (>= 1 once the device has seen host writes).
   virtual double WriteAmplification() const = 0;
+
+  /// Registers this FTL's time-series streams (cold path; called once
+  /// by the owning Device when a registry is attached). The registry
+  /// polls through `this`, so it must not outlive the FTL — same
+  /// lifetime contract as the tracer. The default registers the common
+  /// counters above as polled streams plus a WA gauge; subclasses add
+  /// their own (free blocks, CMT occupancy, ...).
+  virtual void RegisterMetrics(metrics::MetricRegistry* m) {
+    static constexpr const char* kCommon[] = {
+        "host_reads", "host_writes",  "trims",       "gc_runs",
+        "gc_erases",  "gc_page_moves", "write_stalls"};
+    for (const char* name : kCommon) {
+      m->AddPolledCounter(std::string("ftl.") + name,
+                          [this, name] { return counters().Get(name); });
+    }
+    m->AddGauge("ftl.write_amplification",
+                [this] { return WriteAmplification(); });
+  }
 };
 
 }  // namespace postblock::ftl

@@ -59,6 +59,41 @@ double PageFtl::WriteAmplification() const {
   return static_cast<double>(programmed) / static_cast<double>(host);
 }
 
+void PageFtl::RegisterMetrics(metrics::MetricRegistry* m) {
+  Ftl::RegisterMetrics(m);
+  m->AddPolledCounter("ftl.wl_page_moves", [this] {
+    return counters_.Get("wl_page_moves");
+  });
+  m->AddPolledCounter("ftl.blocks_retired", [this] {
+    return counters_.Get("blocks_retired");
+  });
+  // Free-block gauges: the paper's GC trigger state. min catches the
+  // LUN about to cross the low watermark, which the total can hide.
+  m->AddGauge("ftl.free_blocks", [this] {
+    std::size_t total = 0;
+    for (const auto& l : luns_) total += l.free_blocks.size();
+    return static_cast<double>(total);
+  });
+  m->AddGauge("ftl.min_free_blocks", [this] {
+    if (luns_.empty()) return 0.0;
+    std::size_t mn = luns_[0].free_blocks.size();
+    for (const auto& l : luns_) {
+      if (l.free_blocks.size() < mn) mn = l.free_blocks.size();
+    }
+    return static_cast<double>(mn);
+  });
+  m->AddGauge("ftl.gc_active_luns", [this] {
+    std::size_t n = 0;
+    for (const auto& l : luns_) n += l.gc_running ? 1 : 0;
+    return static_cast<double>(n);
+  });
+  m->AddGauge("ftl.stalled_luns", [this] {
+    std::size_t n = 0;
+    for (const auto& l : luns_) n += l.stalled ? 1 : 0;
+    return static_cast<double>(n);
+  });
+}
+
 std::optional<flash::Ppa> PageFtl::Locate(Lba lba) const {
   if (lba >= logical_pages_ || !map_[lba].mapped) return std::nullopt;
   return map_[lba].ppa;

@@ -49,6 +49,7 @@ class PageFtl : public Ftl {
   std::uint64_t user_pages() const override { return logical_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;
+  void RegisterMetrics(metrics::MetricRegistry* m) override;
 
   // --- Extended (vision) interface ---------------------------------
   /// Atomically writes a set of pages: either all mappings flip (after

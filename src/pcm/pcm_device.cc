@@ -97,4 +97,17 @@ std::uint64_t PcmDevice::MaxLineWear() const {
   return m;
 }
 
+void PcmDevice::RegisterMetrics(metrics::MetricRegistry* m) {
+  m->AddPolledCounter("pcm.reads",
+                      [this] { return counters_.Get("reads"); });
+  m->AddPolledCounter("pcm.writes",
+                      [this] { return counters_.Get("writes"); });
+  m->AddPolledCounter("pcm.lines_written",
+                      [this] { return counters_.Get("lines_written"); });
+  m->AddPolledCounter("pcm.bus_busy_ns",
+                      [this] { return bus_.busy_ns(); });
+  m->AddGauge("pcm.max_line_wear",
+              [this] { return static_cast<double>(MaxLineWear()); });
+}
+
 }  // namespace postblock::pcm

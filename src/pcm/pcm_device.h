@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "common/types.h"
+#include "metrics/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 
@@ -66,6 +67,10 @@ class PcmDevice {
 
   const Counters& counters() const { return counters_; }
   sim::Resource* bus() { return &bus_; }
+
+  /// Registers this device's time-series streams (polled-only — the
+  /// access path stays untouched). Call once per registry.
+  void RegisterMetrics(metrics::MetricRegistry* m);
 
  private:
   std::uint64_t LinesFor(std::uint64_t addr, std::uint64_t len) const;

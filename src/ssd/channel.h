@@ -60,6 +60,12 @@ class Channel {
   std::uint64_t gc_stall_read_ns() const { return gc_stall_read_ns_; }
   std::uint64_t gc_stall_write_ns() const { return gc_stall_write_ns_; }
 
+  /// Cumulative bus time held by GC/WL-origin work as of `now`
+  /// (BusyClock integral; safe to poll mid-run).
+  std::uint64_t gc_busy_ns(SimTime now) const {
+    return gc_busy_.Total(now);
+  }
+
  private:
   /// Per-use state, pooled like Resource::UseOp so the scheduling
   /// lambdas capture one pointer and stay inline in the event queue.

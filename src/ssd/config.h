@@ -13,6 +13,10 @@ namespace postblock::trace {
 class Tracer;
 }  // namespace postblock::trace
 
+namespace postblock::metrics {
+class MetricRegistry;
+}  // namespace postblock::metrics
+
 namespace postblock::ssd {
 
 /// Which Flash Translation Layer the controller runs (Figure 2's
@@ -107,6 +111,14 @@ struct Config {
   /// events are only recorded while tracer->enabled() — the single
   /// flag that turns full attribution on (ISSUE 2).
   trace::Tracer* tracer = nullptr;
+
+  /// Time-series metric registry shared by every layer of this device
+  /// (not owned; may be null). Attaching one makes controller, FTL and
+  /// device register their counters/gauges/windowed histograms at
+  /// construction so a `metrics::Sampler` can snapshot them on a sim
+  /// clock (ISSUE 3). Like the tracer, attachment never perturbs the
+  /// simulated schedule — the registry only observes.
+  metrics::MetricRegistry* metrics = nullptr;
 
   /// Multi-plane operation: array operations on *different planes* of
   /// one LUN execute concurrently (the paper's §2.2: planes exist

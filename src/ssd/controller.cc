@@ -11,7 +11,8 @@ Controller::Controller(sim::Simulator* sim, const Config& config)
     : sim_(sim),
       config_(config),
       flash_(config.geometry, config.timing, config.errors, config.seed),
-      tracer_(config.tracer) {
+      tracer_(config.tracer),
+      metrics_(config.metrics) {
   const auto& g = config_.geometry;
   channels_.reserve(g.channels);
   for (std::uint32_t c = 0; c < g.channels; ++c) {
@@ -36,6 +37,64 @@ Controller::Controller(sim::Simulator* sim, const Config& config)
     }
     flash_.set_tracer(tracer_, sim_);
   }
+  if (metrics_ != nullptr) RegisterMetrics();
+}
+
+void Controller::RegisterMetrics() {
+  metrics::MetricRegistry* m = metrics_;
+  // Pushed counters, maintained in parallel with flash_.counters() on
+  // the same ok-path conditions — the sampler's final row must equal
+  // the Counters (the two observability systems cross-check).
+  m_pages_read_ = m->AddCounter("ssd.pages_read");
+  m_pages_programmed_ = m->AddCounter("ssd.pages_programmed");
+  m_blocks_erased_ = m->AddCounter("ssd.blocks_erased");
+  m_copybacks_ = m->AddCounter("ssd.copybacks");
+  // Windowed op latency (queueing included), reset every interval.
+  m_read_lat_ = m->AddHistogram("ssd.read_lat_ns");
+  m_program_lat_ = m->AddHistogram("ssd.program_lat_ns");
+  m_erase_lat_ = m->AddHistogram("ssd.erase_lat_ns");
+  // Busy-time integrals: per-window deltas over these divided by the
+  // window length give busy fractions (BusyClock arithmetic, PR 2).
+  m->AddPolledCounter("ssd.energy_nj", [this] {
+    return flash_.counters().Get("energy_nj");
+  });
+  m->AddPolledCounter("ssd.gc_stall_read_ns",
+                      [this] { return GcStallReadNs(); });
+  m->AddPolledCounter("ssd.gc_stall_write_ns",
+                      [this] { return GcStallWriteNs(); });
+  m->AddPolledCounter("ssd.units_busy_ns", [this] {
+    std::uint64_t total = 0;
+    for (const auto& u : units_) total += u->busy_ns();
+    return total;
+  });
+  m->AddPolledCounter("ssd.units_gc_busy_ns", [this] {
+    const SimTime now = sim_->Now();
+    std::uint64_t total = 0;
+    for (const auto& g : unit_gc_) total += g.Total(now);
+    return total;
+  });
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    Channel* ch = channels_[c].get();
+    const std::string prefix = "ssd.chan" + std::to_string(c);
+    m->AddPolledCounter(prefix + ".busy_ns",
+                        [ch] { return ch->resource()->busy_ns(); });
+    m->AddPolledCounter(prefix + ".gc_busy_ns", [this, ch] {
+      return ch->gc_busy_ns(sim_->Now());
+    });
+  }
+  m->AddGauge("ssd.wear_min", [this] {
+    return static_cast<double>(flash_.MinEraseCount());
+  });
+  m->AddGauge("ssd.wear_max", [this] {
+    return static_cast<double>(flash_.MaxEraseCount());
+  });
+  m->AddGauge("ssd.wear_spread", [this] {
+    return static_cast<double>(flash_.MaxEraseCount() -
+                               flash_.MinEraseCount());
+  });
+  m->AddGauge("ssd.bad_blocks", [this] {
+    return static_cast<double>(flash_.bad_blocks());
+  });
 }
 
 Controller::Op* Controller::AcquireOp() {
@@ -170,7 +229,16 @@ void Controller::FinishRead(Op* op) {
     return;
   }
   auto result = flash_.Read(op->src);
-  read_latency_.Record(sim_->Now() - op->start);
+  const SimTime latency = sim_->Now() - op->start;
+  read_latency_.Record(latency);
+  if (metrics_ != nullptr) {
+    // Mirror flash counters: a read that fails only on uncorrectable
+    // ECC (DataLoss) still counted as a page read.
+    if (result.ok() || result.status().IsDataLoss()) {
+      metrics_->Increment(m_pages_read_);
+    }
+    metrics_->Record(m_read_lat_, latency);
+  }
   const auto& t = config_.timing;
   flash_.mutable_counters()->Add(
       "energy_nj",
@@ -216,7 +284,12 @@ void Controller::FinishProgram(Op* op) {
     return;
   }
   Status st = flash_.Program(op->src, op->data);
-  program_latency_.Record(sim_->Now() - op->start);
+  const SimTime latency = sim_->Now() - op->start;
+  program_latency_.Record(latency);
+  if (metrics_ != nullptr) {
+    if (st.ok()) metrics_->Increment(m_pages_programmed_);
+    metrics_->Record(m_program_lat_, latency);
+  }
   const auto& t = config_.timing;
   flash_.mutable_counters()->Add(
       "energy_nj",
@@ -271,8 +344,14 @@ void Controller::FinishCopyback(Op* op) {
   }
   auto data = flash_.Peek(op->src);  // in-die move: no ECC path
   Status st = data.ok() ? flash_.Program(op->dst, *data) : data.status();
-  program_latency_.Record(sim_->Now() - op->start);
+  const SimTime latency = sim_->Now() - op->start;
+  program_latency_.Record(latency);
   flash_.mutable_counters()->Increment("copybacks");
+  if (metrics_ != nullptr) {
+    metrics_->Increment(m_copybacks_);
+    if (st.ok()) metrics_->Increment(m_pages_programmed_);
+    metrics_->Record(m_program_lat_, latency);
+  }
   flash_.mutable_counters()->Add(
       "energy_nj",
       config_.timing.read_energy_nj + config_.timing.program_energy_nj);
@@ -312,7 +391,14 @@ void Controller::FinishErase(Op* op) {
     return;
   }
   Status st = flash_.Erase(op->src.Block());
-  erase_latency_.Record(sim_->Now() - op->start);
+  const SimTime latency = sim_->Now() - op->start;
+  erase_latency_.Record(latency);
+  if (metrics_ != nullptr) {
+    // Mirror flash counters: an erase that succeeded but retired the
+    // block (DataLoss) still counted as a block erase.
+    if (st.ok() || st.IsDataLoss()) metrics_->Increment(m_blocks_erased_);
+    metrics_->Record(m_erase_lat_, latency);
+  }
   flash_.mutable_counters()->Add("energy_nj",
                                  config_.timing.erase_energy_nj);
   OpCallback cb = std::move(op->op_cb);

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "flash/chip.h"
+#include "metrics/metrics.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "ssd/channel.h"
@@ -103,6 +104,7 @@ class Controller {
   }
 
   trace::Tracer* tracer() { return tracer_; }
+  metrics::MetricRegistry* metrics() { return metrics_; }
   /// Trace track of a serial execution unit (for FTL instrumentation
   /// that wants to annotate a LUN's timeline).
   std::uint32_t unit_track(std::uint32_t unit) const {
@@ -163,6 +165,8 @@ class Controller {
     return tracer_ != nullptr && tracer_->enabled() && op->ctx.span != 0;
   }
   void RecordCellOp(Op* op, SimTime busy_ns);
+  /// Registers the flash-backend metric streams (cold path, ctor).
+  void RegisterMetrics();
 
   void ReadArrayPhase(Op* op);
   void ReadTransferPhase(Op* op);
@@ -191,6 +195,16 @@ class Controller {
   std::uint64_t epoch_ = 0;
 
   trace::Tracer* tracer_ = nullptr;
+  // Pushed-counter Ids mirror the flash Counters' ok-path semantics so
+  // the sampler's final row cross-checks against flash_.counters().
+  metrics::MetricRegistry* metrics_ = nullptr;
+  metrics::Id m_pages_read_ = metrics::kInvalidId;
+  metrics::Id m_pages_programmed_ = metrics::kInvalidId;
+  metrics::Id m_blocks_erased_ = metrics::kInvalidId;
+  metrics::Id m_copybacks_ = metrics::kInvalidId;
+  metrics::Id m_read_lat_ = metrics::kInvalidId;
+  metrics::Id m_program_lat_ = metrics::kInvalidId;
+  metrics::Id m_erase_lat_ = metrics::kInvalidId;
   std::vector<std::uint32_t> unit_tracks_;   // trace track per unit
   std::vector<trace::BusyClock> unit_gc_;    // GC occupancy per unit
   std::uint64_t gc_stall_read_ns_ = 0;       // unit-level only; accessor

@@ -37,10 +37,29 @@ Device::Device(sim::Simulator* sim, const Config& config)
         sim_, ftl_.get(), config_.write_buffer,
         config_.geometry.luns());
   }
+  metrics_ = config_.metrics;
+  if (metrics_ != nullptr) {
+    m_requests_ = metrics_->AddCounter("dev.requests");
+    m_completions_ = metrics_->AddCounter("dev.completions");
+    m_read_lat_ = metrics_->AddHistogram("dev.read_lat_ns");
+    m_write_lat_ = metrics_->AddHistogram("dev.write_lat_ns");
+    metrics_->AddGauge("dev.write_amplification",
+                       [this] { return WriteAmplification(); });
+    metrics_->AddGauge("dev.write_buffer_pages", [this] {
+      return write_buffer_ == nullptr
+                 ? 0.0
+                 : static_cast<double>(write_buffer_->entries());
+    });
+    metrics_->AddPolledCounter("dev.buffer_read_hits", [this] {
+      return counters_.Get("buffer_read_hits");
+    });
+    ftl_->RegisterMetrics(metrics_);
+  }
 }
 
 void Device::Submit(blocklayer::IoRequest request) {
   counters_.Increment("requests");
+  if (metrics_ != nullptr) metrics_->Increment(m_requests_);
   counters_.Increment(std::string("requests_") +
                       blocklayer::IoOpName(request.op));
   if (request.op == blocklayer::IoOp::kWrite &&
@@ -119,14 +138,17 @@ void Device::SubmitPageOps(
     switch (request.op) {
       case blocklayer::IoOp::kRead:
         read_latency_.Record(latency);
+        if (metrics_ != nullptr) metrics_->Record(m_read_lat_, latency);
         break;
       case blocklayer::IoOp::kWrite:
         write_latency_.Record(latency);
+        if (metrics_ != nullptr) metrics_->Record(m_write_lat_, latency);
         break;
       default:
         break;
     }
     counters_.Increment("completions");
+    if (metrics_ != nullptr) metrics_->Increment(m_completions_);
     if (root && tracer_ != nullptr) {
       tracer_->Record(trace::Stage::kIo,
                       blocklayer::OriginOf(request.op), request.span, 0,

@@ -9,6 +9,7 @@
 #include "common/stats.h"
 #include "ftl/ftl.h"
 #include "ftl/page_ftl.h"
+#include "metrics/metrics.h"
 #include "sim/simulator.h"
 #include "ssd/config.h"
 #include "ssd/controller.h"
@@ -82,6 +83,14 @@ class Device : public blocklayer::BlockDevice {
 
   trace::Tracer* tracer_ = nullptr;  // == config_.tracer
   std::uint32_t dev_track_ = 0;      // "ssd-device" (host pid)
+
+  // Pushed in parallel with counters_ ("requests"/"completions") so the
+  // sampler's final row cross-checks against the device Counters.
+  metrics::MetricRegistry* metrics_ = nullptr;  // == config_.metrics
+  metrics::Id m_requests_ = metrics::kInvalidId;
+  metrics::Id m_completions_ = metrics::kInvalidId;
+  metrics::Id m_read_lat_ = metrics::kInvalidId;
+  metrics::Id m_write_lat_ = metrics::kInvalidId;
 };
 
 /// Builds the FTL named by `config.ftl` over `controller`.

@@ -208,6 +208,57 @@ TEST(HistogramTest, SummaryMentionsCount) {
   EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
 }
 
+TEST(HistogramTest, EmptyPercentileAnyP) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0), 0u);
+  EXPECT_EQ(h.Percentile(100), 0u);
+  EXPECT_EQ(h.Percentile(-5), 0u);
+  EXPECT_EQ(h.Percentile(250), 0u);
+}
+
+TEST(HistogramTest, PercentileExtremesAreExact) {
+  Histogram h;
+  // Values land mid-bucket at this magnitude: the midpoint
+  // approximation would overshoot min at p=0 and can undershoot max at
+  // p=100. The extremes are tracked exactly, so they answer exactly.
+  h.Record(1'000'000);
+  h.Record(3'000'000);
+  h.Record(9'000'000);
+  EXPECT_EQ(h.Percentile(0), h.min());
+  EXPECT_EQ(h.Percentile(100), h.max());
+  // Out-of-range p clamps to the extremes.
+  EXPECT_EQ(h.Percentile(-1), h.min());
+  EXPECT_EQ(h.Percentile(101), h.max());
+}
+
+TEST(HistogramTest, MergeAfterReset) {
+  Histogram a, b;
+  a.Record(50);
+  a.Reset();
+  b.Record(7);
+  b.Record(9000);
+  a.Merge(b);  // reset target must behave like a fresh histogram
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 7u);
+  EXPECT_EQ(a.max(), 9000u);
+  // And merging an empty (reset) source must be a no-op.
+  Histogram c;
+  c.Record(3);
+  c.Reset();
+  b.Merge(c);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 7u);
+  EXPECT_EQ(b.max(), 9000u);
+}
+
+TEST(HistogramTest, ZeroCountSummary) {
+  Histogram h;
+  EXPECT_EQ(h.Summary(), "n=0 mean=0.0 p50=0 p99=0 max=0");
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Summary(), "n=0 mean=0.0 p50=0 p99=0 max=0");
+}
+
 // --- Counters ----------------------------------------------------------
 
 TEST(CountersTest, GetUnknownIsZero) {

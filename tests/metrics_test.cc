@@ -1,0 +1,441 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocklayer/block_layer.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/device.h"
+#include "workload/patterns.h"
+
+namespace postblock::metrics {
+namespace {
+
+// --- MetricRegistry ---------------------------------------------------------
+
+TEST(MetricRegistryTest, PushedCounters) {
+  MetricRegistry r;
+  const Id a = r.AddCounter("a");
+  const Id b = r.AddCounter("b");
+  r.Increment(a);
+  r.Add(b, 10);
+  r.Add(b, 5);
+  EXPECT_EQ(r.num_counters(), 2u);
+  EXPECT_EQ(r.counter(a), 1u);
+  EXPECT_EQ(r.counter(b), 15u);
+  EXPECT_EQ(r.counter_name(a), "a");
+  EXPECT_EQ(r.CounterByName("b"), 15u);
+  EXPECT_EQ(r.CounterByName("nope", 42), 42u);
+  EXPECT_TRUE(r.Has("a"));
+  EXPECT_FALSE(r.Has("nope"));
+}
+
+TEST(MetricRegistryTest, PolledCountersAndGauges) {
+  MetricRegistry r;
+  std::uint64_t v = 7;
+  double g = 1.5;
+  const Id p = r.AddPolledCounter("p", [&v] { return v; });
+  const Id q = r.AddGauge("g", [&g] { return g; });
+  EXPECT_EQ(r.PollCounter(p), 7u);
+  EXPECT_DOUBLE_EQ(r.PollGauge(q), 1.5);
+  v = 9;
+  g = -2.0;
+  EXPECT_EQ(r.PollCounter(p), 9u);   // reads live state, not a copy
+  EXPECT_DOUBLE_EQ(r.PollGauge(q), -2.0);
+  EXPECT_EQ(r.CounterByName("p"), 9u);
+  EXPECT_TRUE(r.Has("g"));
+}
+
+TEST(MetricRegistryTest, HistogramTotalSurvivesWindowReset) {
+  MetricRegistry r;
+  const Id h = r.AddHistogram("lat");
+  r.Record(h, 100);
+  r.Record(h, 200);
+  EXPECT_EQ(r.window(h)->count(), 2u);
+  EXPECT_EQ(r.hist_total(h), 2u);
+  r.window(h)->Reset();  // what the sampler does each interval
+  r.Record(h, 300);
+  EXPECT_EQ(r.window(h)->count(), 1u);  // window is per-interval...
+  EXPECT_EQ(r.hist_total(h), 3u);       // ...the total is cumulative
+  EXPECT_TRUE(r.Has("lat"));
+}
+
+TEST(MetricRegistryTest, NamesAreSharedAcrossFamiliesButUniqueWithin) {
+  MetricRegistry r;
+  r.AddCounter("x");
+  r.AddHistogram("h");
+  r.AddGauge("g", [] { return 0.0; });
+  EXPECT_TRUE(r.Has("x"));
+  EXPECT_TRUE(r.Has("h"));
+  EXPECT_TRUE(r.Has("g"));
+}
+
+// --- Sampler: timing --------------------------------------------------------
+
+// Every snapshot of a busy run lands exactly on the t0 + k*interval
+// grid — the tick is an ordinary timing-wheel event, executed at its
+// precise timestamp.
+TEST(SamplerTest, SamplesLandOnExactIntervalBoundaries) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  std::uint64_t work = 0;
+  reg.AddPolledCounter("work", [&work] { return work; });
+
+  // Busy background load at an interval co-prime with the sampler's,
+  // so device events never coincide with tick boundaries.
+  std::function<void()> churn = [&] {
+    ++work;
+    if (work < 500) sim.Schedule(7, [&churn] { churn(); });
+  };
+  sim.Schedule(0, [&churn] { churn(); });
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/100);
+  sampler.Start();
+  sim.Run();
+  sampler.Stop();
+
+  const auto& t = sampler.series().timestamps();
+  ASSERT_GE(t.size(), 3u);
+  EXPECT_EQ(t.front(), 0u);  // baseline row at Start()
+  // All interior rows are exact multiples of the interval; only the
+  // Stop() row may land off-grid (at the drained end time).
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    EXPECT_EQ(t[i] % 100, 0u) << "row " << i << " at t=" << t[i];
+    EXPECT_EQ(t[i], t[i - 1] + 100) << "missed an interval before row " << i;
+  }
+  // Sampled values are cumulative and non-decreasing.
+  const Column* c = sampler.series().Find("work");
+  ASSERT_NE(c, nullptr);
+  for (std::size_t i = 1; i < c->u64.size(); ++i) {
+    EXPECT_GE(c->u64[i], c->u64[i - 1]);
+  }
+  EXPECT_EQ(sampler.series().FinalU64("work"), 500u);
+}
+
+// A tick that finds the queue otherwise empty parks instead of
+// rescheduling — a sampled run terminates, at most one interval past
+// the point where the simulation ran dry.
+TEST(SamplerTest, ParksWhenTheQueueDrains) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  reg.AddCounter("c");
+
+  sim.Schedule(250, [] {});  // last real event at t=250
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/100);
+  sampler.Start();
+  sim.Run();  // must terminate
+  EXPECT_TRUE(sampler.parked());
+  EXPECT_LE(sim.Now(), 250u + 100u);
+
+  // Resume() re-arms on the same grid after more work arrives.
+  sim.Schedule(400, [] {});
+  sampler.Resume();
+  sim.Run();
+  const auto& t = sampler.series().timestamps();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_EQ(t[i] % 100, 0u);
+  }
+  EXPECT_GE(t.back(), 400u + 100u - 100u);  // sampled past the new work
+  sampler.Stop();
+}
+
+// Stop() takes a final row at the drained time and never duplicates a
+// row that already exists at the current timestamp.
+TEST(SamplerTest, StopTakesOneFinalRow) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  const Id c = reg.AddCounter("c");
+  sim.Schedule(50, [&reg, c] { reg.Add(c, 5); });
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/1000);
+  sampler.Start();
+  sim.Run();
+  sampler.Stop();
+  const std::size_t rows = sampler.series().rows();
+  sampler.Stop();  // idempotent
+  EXPECT_EQ(sampler.series().rows(), rows);
+  EXPECT_EQ(sampler.series().FinalU64("c"), 5u);
+  // The final row reflects the fully drained run even though the run
+  // ended between interval boundaries.
+  EXPECT_GE(sampler.series().timestamps().back(), 50u);
+}
+
+// --- Sampler: windowed histograms -------------------------------------------
+
+// Percentile sub-columns describe each interval in isolation: the
+// window resets after every snapshot, while `.count` stays cumulative.
+TEST(SamplerTest, WindowedHistogramResetsPerInterval) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  const Id h = reg.AddHistogram("lat");
+
+  sim.Schedule(50, [&reg, h] { reg.Record(h, 10); });
+  sim.Schedule(150, [&reg, h] { reg.Record(h, 1000); });
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/100);
+  sampler.Start();
+  sim.Run();
+  sampler.Stop();
+
+  const TimeSeries& ts = sampler.series();
+  const Column* wc = ts.Find("lat.window_count");
+  const Column* cum = ts.Find("lat.count");
+  const Column* p50 = ts.Find("lat.p50");
+  ASSERT_NE(wc, nullptr);
+  ASSERT_NE(cum, nullptr);
+  ASSERT_NE(p50, nullptr);
+
+  const auto& t = ts.timestamps();
+  // Row at t=100 sees only the first record; row at t=200 only the
+  // second — windows never leak across intervals.
+  std::size_t r100 = 0, r200 = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i] == 100) r100 = i;
+    if (t[i] == 200) r200 = i;
+  }
+  ASSERT_GT(r100, 0u);
+  ASSERT_GT(r200, r100);
+  EXPECT_EQ(wc->u64[r100], 1u);
+  EXPECT_EQ(cum->u64[r100], 1u);
+  EXPECT_EQ(p50->u64[r100], 10u);  // exact: small values are exact buckets
+  EXPECT_EQ(wc->u64[r200], 1u);
+  EXPECT_EQ(cum->u64[r200], 2u);  // cumulative count keeps growing
+  EXPECT_NEAR(static_cast<double>(p50->u64[r200]), 1000.0, 1000.0 * 0.05);
+}
+
+// --- TimeSeries helpers -----------------------------------------------------
+
+TEST(TimeSeriesTest, DeltaU64ClampsNonMonotone) {
+  Column c;
+  c.u64 = {5, 12, 3, 3};
+  EXPECT_EQ(TimeSeries::DeltaU64(c, 0), 5u);
+  EXPECT_EQ(TimeSeries::DeltaU64(c, 1), 7u);
+  EXPECT_EQ(TimeSeries::DeltaU64(c, 2), 0u);  // post-crash reset: clamp
+  EXPECT_EQ(TimeSeries::DeltaU64(c, 3), 0u);
+  EXPECT_EQ(TimeSeries::DeltaU64(c, 9), 0u);  // out of range
+}
+
+TEST(TimeSeriesTest, CsvAndJsonExport) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  const Id c = reg.AddCounter("ops");
+  reg.AddGauge("load", [] { return 0.25; });
+  sim.Schedule(10, [&reg, c] { reg.Add(c, 3); });
+  sim.Schedule(110, [&reg, c] { reg.Add(c, 4); });
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/100);
+  sampler.Start();
+  sim.Run();
+  sampler.Stop();
+
+  const std::string csv = ::testing::TempDir() + "/metrics_test.csv";
+  const std::string json = ::testing::TempDir() + "/metrics_test.json";
+  ASSERT_TRUE(sampler.series().WriteCsv(csv).ok());
+  ASSERT_TRUE(
+      sampler.series().WriteJson(json, "\"git_sha\": \"test\"").ok());
+
+  auto slurp = [](const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+  };
+
+  const std::string csv_text = slurp(csv);
+  EXPECT_NE(csv_text.find("time_ns,ops,load"), std::string::npos);
+  // One header line + one line per row.
+  std::size_t lines = 0;
+  for (char ch : csv_text) lines += ch == '\n';
+  EXPECT_EQ(lines, 1 + sampler.series().rows());
+
+  const std::string json_text = slurp(json);
+  EXPECT_NE(json_text.find("\"git_sha\": \"test\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"ops\": {\"kind\": \"counter\""),
+            std::string::npos);
+  EXPECT_NE(json_text.find("\"load\": {\"kind\": \"gauge\""),
+            std::string::npos);
+  EXPECT_EQ(sampler.series().FinalU64("ops"), 7u);
+
+  std::remove(csv.c_str());
+  std::remove(json.c_str());
+}
+
+// --- Whole-stack contracts --------------------------------------------------
+
+void RunRandom(sim::Simulator* sim, blocklayer::BlockDevice* device,
+               bool writes, std::uint64_t ops, std::uint32_t depth,
+               std::uint64_t seed) {
+  workload::RandomPattern pattern(0, device->num_blocks(), writes, 1, seed);
+  const auto r = workload::RunClosedLoop(sim, device, &pattern, ops, depth);
+  ASSERT_EQ(r.errors, 0u);
+}
+
+// Ages a device past its first GC (sequential fill + 2x churn).
+void Age(sim::Simulator* sim, blocklayer::BlockDevice* device) {
+  const std::uint64_t n = device->num_blocks();
+  workload::SequentialPattern fill(0, n, /*is_write=*/true);
+  (void)workload::RunClosedLoop(sim, device, &fill, n, 8);
+  RunRandom(sim, device, /*writes=*/true, 2 * n, 8, /*seed=*/99);
+}
+
+// Device-side fingerprint of a run: every observable the *simulated
+// schedule* determines. Deliberately excludes the final sim time — the
+// sampler's last (parked) tick legitimately extends the clock by up to
+// one interval after the device has drained; the device schedule itself
+// must be untouched.
+struct Fingerprint {
+  std::uint64_t completions = 0;
+  std::uint64_t gc_moves = 0;
+  std::uint64_t pages_programmed = 0;
+  std::uint64_t read_count = 0;
+  std::uint64_t read_max = 0;
+  double read_sum = 0;
+
+  bool operator==(const Fingerprint& o) const {
+    return completions == o.completions && gc_moves == o.gc_moves &&
+           pages_programmed == o.pages_programmed &&
+           read_count == o.read_count && read_max == o.read_max &&
+           read_sum == o.read_sum;
+  }
+};
+
+// Metrics observe the schedule; they must never change it. The same
+// workload bare, with a registry attached, and with a registry plus a
+// live sampler must do identical device work with identical timing.
+TEST(MetricsStackTest, SamplingNeverPerturbsTheSchedule) {
+  auto run = [](bool with_metrics, bool with_sampler) {
+    sim::Simulator sim;
+    MetricRegistry reg;
+    ssd::Config cfg = ssd::Config::Small();
+    if (with_metrics) cfg.metrics = &reg;
+    ssd::Device device(&sim, cfg);
+    Sampler sampler(&sim, &reg, /*interval_ns=*/50'000);
+    if (with_sampler) sampler.Start();
+    Age(&sim, &device);
+    if (with_sampler) sampler.Resume();  // Age drains the queue twice
+    RunRandom(&sim, &device, /*writes=*/false, 1000, 4, /*seed=*/8);
+    sim.Run();
+    if (with_sampler) sampler.Stop();
+    Fingerprint fp;
+    fp.completions = device.counters().Get("completions");
+    fp.gc_moves = device.ftl()->counters().Get("gc_page_moves");
+    fp.pages_programmed =
+        device.controller()->counters().Get("pages_programmed");
+    fp.read_count = device.read_latency().count();
+    fp.read_max = device.read_latency().max();
+    fp.read_sum = device.read_latency().Mean() *
+                  static_cast<double>(device.read_latency().count());
+    return fp;
+  };
+
+  const Fingerprint bare = run(false, false);
+  const Fingerprint attached = run(true, false);
+  const Fingerprint sampled = run(true, true);
+  EXPECT_GT(bare.gc_moves, 0u);
+  EXPECT_TRUE(attached == bare);
+  EXPECT_TRUE(sampled == bare);
+}
+
+// The tentpole acceptance cross-check: the final sampled cumulative
+// rows equal the stack's existing `Counters` — the pushed mirrors and
+// the always-on accounting are two views of the same events.
+TEST(MetricsStackTest, FinalSampledRowEqualsCounters) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  ssd::Config cfg = ssd::Config::Small();
+  cfg.metrics = &reg;
+  ssd::Device device(&sim, cfg);
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/100'000);
+  sampler.Start();
+  Age(&sim, &device);
+  sampler.Resume();
+  RunRandom(&sim, &device, /*writes=*/true, 1500, 4, /*seed=*/3);
+  sampler.Resume();
+  RunRandom(&sim, &device, /*writes=*/false, 1500, 4, /*seed=*/4);
+  sim.Run();
+  sampler.Stop();
+
+  ASSERT_GT(sampler.samples_taken(), 2u);
+  const TimeSeries& ts = sampler.series();
+  const Counters& flash = device.controller()->counters();
+
+  // Pushed SSD counters mirror the flash layer's accounting exactly.
+  EXPECT_EQ(ts.FinalU64("ssd.pages_read"), flash.Get("pages_read"));
+  EXPECT_EQ(ts.FinalU64("ssd.pages_programmed"),
+            flash.Get("pages_programmed"));
+  EXPECT_EQ(ts.FinalU64("ssd.blocks_erased"), flash.Get("blocks_erased"));
+  EXPECT_GT(ts.FinalU64("ssd.pages_programmed"), 0u);
+  EXPECT_GT(ts.FinalU64("ssd.blocks_erased"), 0u);
+
+  // Device-level pushed counters mirror Device::counters().
+  EXPECT_EQ(ts.FinalU64("dev.requests"),
+            device.counters().Get("requests"));
+  EXPECT_EQ(ts.FinalU64("dev.completions"),
+            device.counters().Get("completions"));
+
+  // Histogram cumulative totals mirror the always-on histograms.
+  EXPECT_EQ(ts.FinalU64("ssd.read_lat_ns.count"),
+            device.controller()->read_latency().count());
+  EXPECT_EQ(ts.FinalU64("ssd.program_lat_ns.count"),
+            device.controller()->program_latency().count());
+  EXPECT_EQ(ts.FinalU64("dev.read_lat_ns.count"),
+            device.read_latency().count());
+  EXPECT_EQ(ts.FinalU64("dev.write_lat_ns.count"),
+            device.write_latency().count());
+
+  // Polled FTL counters read the same Counters the FTL maintains.
+  EXPECT_EQ(ts.FinalU64("ftl.gc_page_moves"),
+            device.ftl()->counters().Get("gc_page_moves"));
+  EXPECT_EQ(ts.FinalU64("ftl.host_writes"),
+            device.ftl()->counters().Get("host_writes"));
+  EXPECT_GT(ts.FinalU64("ftl.gc_page_moves"), 0u);
+
+  // And the registry's name lookup agrees with the sampled columns.
+  EXPECT_EQ(reg.CounterByName("ssd.pages_programmed"),
+            ts.FinalU64("ssd.pages_programmed"));
+}
+
+// A block-layer stack registers its own metrics through the same
+// registry; queue/inflight gauges exist and the submitted/completed
+// mirrors balance on a drained run.
+TEST(MetricsStackTest, BlockLayerMetrics) {
+  sim::Simulator sim;
+  MetricRegistry reg;
+  ssd::Config cfg = ssd::Config::Small();
+  cfg.metrics = &reg;
+  ssd::Device device(&sim, cfg);
+  blocklayer::BlockLayerConfig bl_cfg;
+  bl_cfg.metrics = &reg;
+  blocklayer::BlockLayer layer(&sim, &device, bl_cfg);
+
+  Sampler sampler(&sim, &reg, /*interval_ns=*/100'000);
+  sampler.Start();
+  RunRandom(&sim, &layer, /*writes=*/true, 2000, 8, /*seed=*/5);
+  sim.Run();
+  sampler.Stop();
+
+  const TimeSeries& ts = sampler.series();
+  EXPECT_EQ(ts.FinalU64("blk.submitted"), 2000u);
+  EXPECT_EQ(ts.FinalU64("blk.completed"), 2000u);
+  EXPECT_EQ(ts.FinalU64("blk.lat_ns.count"), 2000u);
+  EXPECT_TRUE(reg.Has("blk.queue_depth"));
+  EXPECT_TRUE(reg.Has("blk.inflight"));
+  // Drained: the inflight gauge reads zero at the end.
+  const Column* inflight = ts.Find("blk.inflight");
+  ASSERT_NE(inflight, nullptr);
+  EXPECT_DOUBLE_EQ(inflight->f64.back(), 0.0);
+  EXPECT_GT(ts.FinalU64("blk.cpu_busy_ns"), 0u);
+}
+
+}  // namespace
+}  // namespace postblock::metrics
