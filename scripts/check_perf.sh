@@ -16,7 +16,10 @@
 #   4. the metrics subsystem: an attached registry (no sampler) must
 #      cost <= 2% wall clock over the same workload, sampling must not
 #      perturb the device schedule, and the final sampled cumulative
-#      rows must equal the stack's Counters.
+#      rows must equal the stack's Counters;
+#   5. the reliability layer: an attached-but-silent fault injector must
+#      not perturb the simulated schedule (it consumes no Rng draws)
+#      and must cost <= 1% wall clock over the same workload.
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -28,14 +31,16 @@ TOLERANCE=0.15
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
-  bench_metrics_overhead -j "$(nproc)" >/dev/null
+  bench_metrics_overhead bench_reliability -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
 ( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
 ( cd "$BUILD_DIR" && ./bench/bench_metrics_overhead )
+( cd "$BUILD_DIR" && ./bench/bench_reliability )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
 TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
 METRICS_RESULT="$BUILD_DIR/BENCH_metrics_overhead.json"
+RELIABILITY_RESULT="$BUILD_DIR/BENCH_reliability.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -140,4 +145,32 @@ if failures:
     sys.exit(1)
 print(f"check_perf: OK (attached-registry overhead {ovh:.1%} <= 2%, "
       "device schedule unperturbed, Counters cross-check exact)")
+EOF
+
+python3 - "$RELIABILITY_RESULT" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+failures = []
+
+# The injector is consulted before the stochastic error model and draws
+# nothing from the Rng, so a silent injector must leave the simulated
+# schedule byte-identical. The bench folds sim_end + all device
+# observables into this one bit.
+if not result.get("deterministic", False):
+    failures.append(
+        "attached fault injector perturbed the simulated schedule")
+ovh = result.get("attached", {}).get("overhead_vs_none", 1.0)
+if ovh > 0.01:
+    failures.append(
+        f"silent-injector overhead {ovh:.1%} exceeds the 1% budget")
+
+if failures:
+    print("check_perf: FAIL (reliability overhead)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"check_perf: OK (silent-injector overhead {ovh:.1%} <= 1%, "
+      "schedule unperturbed)")
 EOF

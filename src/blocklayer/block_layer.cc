@@ -91,6 +91,10 @@ void BlockLayer::Submit(IoRequest request) {
   st->span = request.span;
   st->origin = OriginOf(request.op);
   st->lba = request.lba;
+  st->op = request.op;
+  st->nblocks = request.nblocks;
+  st->priority = request.priority;
+  st->attempts = 1;
 
   // Wrap the completion: device completion -> completion CPU cost
   // (interrupt or poll) -> caller. Dropped if the host reset meanwhile.
@@ -155,6 +159,22 @@ void BlockLayer::FinishIo(IoState* st) {
     ReleaseIo(st);
     return;
   }
+  // EIO retry: resubmit a failed read before it counts as completed.
+  // Only uncorrectable media errors qualify — the device's own retry
+  // ladder already ran, but a re-read can still succeed when the
+  // failure was a transient (injected or queueing-sensitive) one.
+  if (st->op == IoOp::kRead && st->result.status.IsDataLoss() &&
+      st->attempts < config_.retry.max_attempts) {
+    const SimTime backoff = config_.retry.backoff_ns
+                            << (st->attempts - 1);
+    ++st->attempts;
+    counters_.Increment("eio_retries");
+    auto resubmit = [this, st] { RetrySubmit(st); };
+    static_assert(sim::InplaceCallback::fits<decltype(resubmit)>());
+    sim_->Schedule(backoff, resubmit);
+    return;
+  }
+  if (!st->result.status.ok()) counters_.Increment("io_errors");
   const SimTime latency = sim_->Now() - st->start;
   latency_.Record(latency);
   counters_.Increment("completed");
@@ -178,6 +198,28 @@ void BlockLayer::FinishIo(IoState* st) {
   IoResult result = std::move(st->result);
   ReleaseIo(st);
   if (cb) cb(result);
+}
+
+void BlockLayer::RetrySubmit(IoState* st) {
+  if (st->epoch != epoch_) {  // host reset during the backoff
+    ReleaseIo(st);
+    return;
+  }
+  IoRequest r;
+  r.op = st->op;
+  r.lba = st->lba;
+  r.nblocks = st->nblocks;
+  r.priority = st->priority;
+  r.span = st->span;
+  r.on_complete = [this, st](const IoResult& result) {
+    OnDeviceComplete(st, result);
+  };
+  st->result = IoResult{};
+  st->req = std::move(r);
+  // Re-enter at the queue stage: the retry pays lock + scheduling again
+  // (it is a fresh request to the device) but not the submit-side CPU,
+  // and keeps its original start time so latency shows the whole tax.
+  SubmitToQueue(st);
 }
 
 void BlockLayer::PowerCycle() {

@@ -31,6 +31,8 @@ struct BlockLayerConfig {
   SchedulerKind scheduler = SchedulerKind::kMerge;
   /// Completion by interrupt (true) or polling (false).
   bool interrupt_completion = true;
+  /// Bounded resubmission of reads that completed with DataLoss.
+  IoRetryPolicy retry;
   /// Optional latency-attribution tracer (see trace/). When set and
   /// enabled, every IO's submit CPU, queue wait and completion CPU
   /// become spans on a per-queue "blkq-N" track; when null or disabled
@@ -108,6 +110,12 @@ class BlockLayer : public BlockDevice {
     bool root = false;  // this layer minted the span -> it records kIo
     Lba lba = 0;
     SimTime complete_t = 0;  // device completion (interrupt/poll start)
+    // EIO retry bookkeeping (reads only; req is moved into the
+    // scheduler, so the resubmission parameters live here).
+    IoOp op = IoOp::kRead;
+    std::uint32_t nblocks = 1;
+    std::uint8_t priority = 0;
+    std::uint8_t attempts = 1;  // total device submissions so far
   };
 
   IoState* AcquireIo();
@@ -117,6 +125,7 @@ class BlockLayer : public BlockDevice {
   void EnqueueLocked(IoState* st);
   void OnDeviceComplete(IoState* st, const IoResult& result);
   void FinishIo(IoState* st);
+  void RetrySubmit(IoState* st);
   void Dispatch(std::uint32_t q);
 
   bool Traced() const { return tracer_ != nullptr && tracer_->enabled(); }

@@ -5,20 +5,53 @@
 namespace postblock::blocklayer {
 
 DirectDriver::DirectDriver(sim::Simulator* sim, BlockDevice* lower,
-                           const CpuCosts& cpu, std::uint32_t cores)
+                           const CpuCosts& cpu, std::uint32_t cores,
+                           const IoRetryPolicy& retry)
     : sim_(sim),
       lower_(lower),
       cpu_(cpu),
-      cpu_res_(sim, "direct-cpu", static_cast<int>(cores)) {}
+      cpu_res_(sim, "direct-cpu", static_cast<int>(cores)),
+      retry_(retry) {}
 
 void DirectDriver::Submit(IoRequest request) {
   counters_.Increment("submitted");
-  const SimTime start = sim_->Now();
+  SubmitAttempt(std::move(request), sim_->Now(), 1);
+}
+
+void DirectDriver::SubmitAttempt(IoRequest request, SimTime start,
+                                 std::uint32_t attempt) {
   const std::uint64_t epoch = epoch_;
   IoCallback user_cb = std::move(request.on_complete);
-  request.on_complete = [this, start, epoch, user_cb = std::move(user_cb)](
-                            const IoResult& result) {
+  // Resubmission parameters, captured before `request` is moved below.
+  const IoOp op = request.op;
+  const Lba lba = request.lba;
+  const std::uint32_t nblocks = request.nblocks;
+  const std::uint8_t priority = request.priority;
+  const trace::SpanId span = request.span;
+  request.on_complete = [this, start, epoch, op, lba, nblocks, priority,
+                         span, attempt, user_cb = std::move(user_cb)](
+                            const IoResult& result) mutable {
     if (epoch != epoch_) return;
+    // EIO retry: a read that still fails after the device's internal
+    // ladder gets a bounded, backed-off resubmission (full attempt,
+    // including submit CPU — the user-space driver really re-polls).
+    if (op == IoOp::kRead && result.status.IsDataLoss() &&
+        attempt < retry_.max_attempts) {
+      counters_.Increment("eio_retries");
+      IoRequest r;
+      r.op = op;
+      r.lba = lba;
+      r.nblocks = nblocks;
+      r.priority = priority;
+      r.span = span;
+      r.on_complete = std::move(user_cb);
+      sim_->Schedule(retry_.backoff_ns << (attempt - 1),
+                     [this, start, attempt, r = std::move(r)]() mutable {
+                       SubmitAttempt(std::move(r), start, attempt + 1);
+                     });
+      return;
+    }
+    if (!result.status.ok()) counters_.Increment("io_errors");
     cpu_res_.UseFor(cpu_.polled_ns,
                     [this, start, epoch, user_cb, result]() {
                       if (epoch != epoch_) return;

@@ -21,7 +21,8 @@ class DirectDriver : public BlockDevice {
  public:
   DirectDriver(sim::Simulator* sim, BlockDevice* lower,
                const CpuCosts& cpu = CpuCosts::Direct(),
-               std::uint32_t cores = 4);
+               std::uint32_t cores = 4,
+               const IoRetryPolicy& retry = IoRetryPolicy());
   ~DirectDriver() override = default;
 
   std::uint64_t num_blocks() const override { return lower_->num_blocks(); }
@@ -42,10 +43,16 @@ class DirectDriver : public BlockDevice {
   void RegisterMetrics(metrics::MetricRegistry* m);
 
  private:
+  /// One device submission; re-entered (with the same `start`) by the
+  /// EIO retry path when a read comes back DataLoss.
+  void SubmitAttempt(IoRequest request, SimTime start,
+                     std::uint32_t attempt);
+
   sim::Simulator* sim_;
   BlockDevice* lower_;
   CpuCosts cpu_;
   sim::Resource cpu_res_;
+  IoRetryPolicy retry_;
   std::uint64_t epoch_ = 0;
   Histogram latency_;
   Counters counters_;

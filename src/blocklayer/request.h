@@ -33,6 +33,18 @@ struct IoResult {
 
 using IoCallback = std::function<void(const IoResult&)>;
 
+/// Bounded EIO retry for reads, mirroring the kernel's per-bio retry
+/// count: a read completing with DataLoss (uncorrectable media even
+/// after the device's own retry ladder) is resubmitted up to
+/// `max_attempts` total tries, each preceded by an exponentially grown
+/// backoff (`backoff_ns << attempt`). Writes and trims are never
+/// retried here — the FTL already places them on fresh blocks, so a
+/// failed write is a policy decision for the layer above.
+struct IoRetryPolicy {
+  std::uint32_t max_attempts = 3;  // total tries; 1 = no retry
+  SimTime backoff_ns = 2000;
+};
+
 /// One asynchronous block IO.
 struct IoRequest {
   IoOp op = IoOp::kRead;

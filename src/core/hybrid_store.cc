@@ -61,18 +61,20 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
                     : 0);
   const Lba lba =
       log_region_start_ + (log_head_block_++ % log_region_blocks_);
+  const std::uint64_t token = next_log_token_++;
   blocklayer::IoRequest write;
   write.op = blocklayer::IoOp::kWrite;
   write.lba = lba;
   write.nblocks = 1;
-  write.tokens = {next_log_token_++};
+  write.tokens = {token};
   // Commit-critical: jumps lazy page flushes under a priority scheduler
   // (ref [13]).
   write.priority = 1;
   write.span = span;
   auto record_ptr =
       std::make_shared<std::vector<std::uint8_t>>(std::move(record));
-  write.on_complete = [this, start, span, record_ptr, cb = std::move(cb)](
+  write.on_complete = [this, start, span, lba, token, record_ptr,
+                       cb = std::move(cb)](
                           const blocklayer::IoResult& wr) mutable {
     if (!wr.status.ok()) {
       sync_latency_.Record(sim_->Now() - start);
@@ -83,7 +85,7 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
     flush.op = blocklayer::IoOp::kFlush;
     flush.nblocks = 1;
     flush.span = span;
-    flush.on_complete = [this, start, span, record_ptr,
+    flush.on_complete = [this, start, span, lba, token, record_ptr,
                          cb = std::move(cb)](
                             const blocklayer::IoResult& fr) {
       sync_latency_.Record(sim_->Now() - start);
@@ -94,6 +96,7 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
       if (fr.status.ok()) {
         // The record is now beyond the volatile cache: durable.
         classic_durable_.push_back(std::move(*record_ptr));
+        classic_slots_.push_back(ClassicLogSlot{lba, token});
       }
       cb(fr.status);
     };
@@ -107,12 +110,62 @@ std::vector<std::vector<std::uint8_t>> HybridStore::DurableRecords() const {
   return classic_durable_;
 }
 
+void HybridStore::RecoverRecords(
+    std::function<void(std::vector<std::vector<std::uint8_t>>)> cb) {
+  if (pcm_log_ != nullptr) {
+    auto records = pcm_log_->RecoverAll();
+    sim_->Schedule(0, [cb = std::move(cb),
+                       records = std::move(records)]() mutable {
+      cb(std::move(records));
+    });
+    return;
+  }
+  struct Scan {
+    std::size_t index = 0;
+    std::vector<std::vector<std::uint8_t>> out;
+    std::function<void(std::vector<std::vector<std::uint8_t>>)> cb;
+  };
+  auto scan = std::make_shared<Scan>();
+  scan->cb = std::move(cb);
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, scan, step]() {
+    if (scan->index >= classic_slots_.size()) {
+      scan->cb(std::move(scan->out));
+      return;
+    }
+    const ClassicLogSlot slot = classic_slots_[scan->index];
+    blocklayer::IoRequest read;
+    read.op = blocklayer::IoOp::kRead;
+    read.lba = slot.lba;
+    read.nblocks = 1;
+    read.priority = 1;
+    read.on_complete = [this, scan, step,
+                        slot](const blocklayer::IoResult& r) {
+      if (!r.status.ok() || r.tokens.empty() || r.tokens[0] != slot.token) {
+        // Torn point: the record at index is unreadable (or its block
+        // was reclaimed by a wrapped log head). Everything after it is
+        // suspect too — truncate here rather than replay past a hole.
+        counters_.Increment("log_torn_truncations");
+        scan->cb(std::move(scan->out));
+        return;
+      }
+      scan->out.push_back(classic_durable_[scan->index]);
+      ++scan->index;
+      (*step)();
+    };
+    counters_.Increment("log_recovery_reads");
+    data_path_->Submit(std::move(read));
+  };
+  (*step)();
+}
+
 void HybridStore::TruncateLog(std::function<void(Status)> cb) {
   if (pcm_log_ != nullptr) {
     pcm_log_->Truncate(std::move(cb));
     return;
   }
   classic_durable_.clear();
+  classic_slots_.clear();
   log_head_block_ = 0;
   sim_->Schedule(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
 }

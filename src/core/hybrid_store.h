@@ -64,6 +64,17 @@ class HybridStore {
   /// classic mode reflects the log blocks on the device.
   std::vector<std::vector<std::uint8_t>> DurableRecords() const;
 
+  /// Recovery's view: re-reads the classic log region through the data
+  /// path and returns the longest intact prefix of durable records. A
+  /// log block that reads back failed (uncorrectable media, even after
+  /// every retry) or stale (token mismatch — overwritten by a wrapped
+  /// log head) is a *torn point*: that record and everything after it
+  /// are dropped, i.e. the log truncates at the first bad record
+  /// instead of replaying past a hole. Vision mode completes with the
+  /// PCM log as-is (the memory bus path has no flash error model).
+  void RecoverRecords(
+      std::function<void(std::vector<std::vector<std::uint8_t>>)> cb);
+
   /// Resets the log after a checkpoint. Durable when the callback fires.
   void TruncateLog(std::function<void(Status)> cb);
 
@@ -86,6 +97,13 @@ class HybridStore {
   /// Classic mode: the records whose log-block write + flush completed.
   /// (Models reading the log region back; the device only stores tokens.)
   std::vector<std::vector<std::uint8_t>> classic_durable_;
+  /// Where each classic_durable_ record landed (parallel vector):
+  /// RecoverRecords re-reads these to verify the log is still intact.
+  struct ClassicLogSlot {
+    Lba lba = 0;
+    std::uint64_t token = 0;
+  };
+  std::vector<ClassicLogSlot> classic_slots_;
 
   Histogram sync_latency_;
   Counters counters_;

@@ -57,11 +57,17 @@ void StorageManager::Recover(StatusCb cb) {
     ReadMetaFrom(*meta);
     pool_->Unpin(0, false);
 
-    auto driver = std::make_shared<RecoveryDriver>();
-    driver->manager = this;
-    driver->batches = wal_->Recover();
-    driver->cb = std::move(cb);
-    RecoveryDriver::Run(std::move(driver));
+    // Media-verified replay: re-read the log from the device so an
+    // uncorrectable log page truncates redo at the torn point instead
+    // of replaying past a hole.
+    wal_->RecoverVerified(
+        [this, cb = std::move(cb)](std::vector<WalBatch> batches) mutable {
+          auto driver = std::make_shared<RecoveryDriver>();
+          driver->manager = this;
+          driver->batches = std::move(batches);
+          driver->cb = std::move(cb);
+          RecoveryDriver::Run(std::move(driver));
+        });
   });
 }
 

@@ -72,4 +72,19 @@ std::vector<WalBatch> Wal::Recover() const {
   return out;
 }
 
+void Wal::RecoverVerified(std::function<void(std::vector<WalBatch>)> cb) {
+  counters_.Increment("verified_recoveries");
+  store_->RecoverRecords(
+      [cb = std::move(cb)](std::vector<std::vector<std::uint8_t>> records) {
+        std::vector<WalBatch> out;
+        for (const auto& record : records) {
+          WalBatch batch;
+          if (DecodeBatch(record, &batch)) {
+            out.push_back(std::move(batch));
+          }
+        }
+        cb(std::move(out));
+      });
+}
+
 }  // namespace postblock::db

@@ -44,6 +44,13 @@ class Wal {
   /// Replays every durable batch in commit order (post-crash).
   std::vector<WalBatch> Recover() const;
 
+  /// Media-verified recovery: re-reads the log from the device and
+  /// replays only the intact prefix — a log page lost to an
+  /// uncorrectable media error truncates replay at the torn point (see
+  /// core::HybridStore::RecoverRecords). Asynchronous because the
+  /// verification reads go through the whole IO stack.
+  void RecoverVerified(std::function<void(std::vector<WalBatch>)> cb);
+
   /// Empties the log after a checkpoint.
   void Truncate(std::function<void(Status)> cb) {
     store_->TruncateLog(std::move(cb));

@@ -25,13 +25,19 @@ Status FlashArray::Program(const Ppa& ppa, const PageData& data) {
   return Status::Ok();
 }
 
-StatusOr<PageData> FlashArray::Read(const Ppa& ppa) {
+StatusOr<PageData> FlashArray::Read(const Ppa& ppa, ReadOutcome* outcome,
+                                    std::uint32_t retry_step) {
   auto result = store_.Read(ppa);
   if (!result.ok()) return result;
   counters_.Increment("pages_read");
   const std::uint32_t wear =
       store_.GetBlockInfo(ppa.Block()).erase_count;
-  switch (error_model_.SampleRead(wear, &rng_)) {
+  ReadOutcome sampled;
+  if (injector_ == nullptr || !injector_->OnRead(ppa, &sampled)) {
+    sampled = error_model_.SampleRead(wear, &rng_, retry_step);
+  }
+  if (outcome != nullptr) *outcome = sampled;
+  switch (sampled) {
     case ReadOutcome::kClean:
       break;
     case ReadOutcome::kCorrectable:
@@ -53,7 +59,9 @@ Status FlashArray::Erase(const BlockAddr& addr) {
   const std::uint32_t wear_before = store_.GetBlockInfo(addr).erase_count;
   PB_RETURN_IF_ERROR(store_.Erase(addr));
   counters_.Increment("blocks_erased");
-  if (error_model_.SampleEraseFailure(wear_before + 1, &rng_)) {
+  const bool scripted =
+      injector_ != nullptr && injector_->OnErase(addr);
+  if (scripted || error_model_.SampleEraseFailure(wear_before + 1, &rng_)) {
     counters_.Increment("erase_failures");
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Mark(trace::Stage::kCellOp, trace::Origin::kMeta, 0,

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "flash/error_model.h"
+#include "flash/fault_injector.h"
 #include "flash/geometry.h"
 #include "flash/page_store.h"
 #include "flash/timing.h"
@@ -42,8 +43,12 @@ class FlashArray {
   Status Program(const Ppa& ppa, const PageData& data);
 
   /// Reads one page through the ECC path. Uncorrectable errors return
-  /// DataLoss; correctable errors are counted and succeed.
-  StatusOr<PageData> Read(const Ppa& ppa);
+  /// DataLoss; correctable errors are counted and succeed. `outcome`
+  /// (optional) reports what ECC saw — the controller's refresh policy
+  /// watches for kCorrectable. `retry_step` > 0 is a retry-ladder
+  /// re-sense with decayed error rates.
+  StatusOr<PageData> Read(const Ppa& ppa, ReadOutcome* outcome = nullptr,
+                          std::uint32_t retry_step = 0);
 
   /// Erases one block. Past the endurance budget the erase may fail,
   /// retiring the block (returns DataLoss; the block is marked bad).
@@ -80,6 +85,13 @@ class FlashArray {
   /// error paths touch the tracer, so the array's hot path is unchanged.
   void set_tracer(trace::Tracer* tracer, sim::Simulator* sim);
 
+  /// Attaches a scripted fault injector (not owned; may be null). The
+  /// injector is consulted *before* the stochastic model and consumes
+  /// no Rng draws, so an attached-but-empty injector leaves every
+  /// schedule and every random sequence untouched.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
  private:
   Geometry geometry_;
   Timing timing_;
@@ -87,6 +99,7 @@ class FlashArray {
   PageStore store_;
   Rng rng_;
   Counters counters_;
+  FaultInjector* injector_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   sim::Simulator* sim_ = nullptr;
   std::uint32_t health_track_ = 0;

@@ -11,9 +11,12 @@ double ErrorModel::WearFactor(std::uint32_t erase_count) const {
   return 1.0 + wear * wear * wear * config_.wear_amplification;
 }
 
-ReadOutcome ErrorModel::SampleRead(std::uint32_t erase_count,
-                                   Rng* rng) const {
-  const double factor = WearFactor(erase_count);
+ReadOutcome ErrorModel::SampleRead(std::uint32_t erase_count, Rng* rng,
+                                   std::uint32_t retry_step) const {
+  double factor = WearFactor(erase_count);
+  for (std::uint32_t i = 0; i < retry_step; ++i) {
+    factor *= config_.retry_rate_decay;
+  }
   const double p_uncorrectable =
       std::min(1.0, config_.base_uncorrectable_rate * factor);
   const double p_correctable =

@@ -1,0 +1,81 @@
+#include "flash/fault_injector.h"
+
+namespace postblock::flash {
+
+FaultInjector::FaultInjector(const Geometry& geometry)
+    : geometry_(geometry), busy_(geometry.luns()) {}
+
+void FaultInjector::FailRead(const Ppa& ppa, std::uint32_t nth,
+                             ReadOutcome outcome) {
+  read_scripts_[ppa.Flatten(geometry_)].nth[nth] = outcome;
+}
+
+void FaultInjector::FailRead(const Ppa& ppa,
+                             std::initializer_list<std::uint32_t> nths,
+                             ReadOutcome outcome) {
+  for (std::uint32_t n : nths) FailRead(ppa, n, outcome);
+}
+
+void FaultInjector::FailReadAlways(const Ppa& ppa, ReadOutcome outcome) {
+  auto& script = read_scripts_[ppa.Flatten(geometry_)];
+  script.sticky = true;
+  script.sticky_outcome = outcome;
+}
+
+void FaultInjector::ClearReadFaults(const Ppa& ppa) {
+  read_scripts_.erase(ppa.Flatten(geometry_));
+}
+
+void FaultInjector::FailErase(const BlockAddr& addr, std::uint32_t nth) {
+  erase_scripts_[addr.Flatten(geometry_)].nth[nth] = true;
+}
+
+void FaultInjector::StuckBusy(std::uint32_t global_lun, SimTime extra_ns,
+                              std::uint32_t ops) {
+  if (global_lun >= busy_.size()) return;
+  busy_[global_lun].extra_ns = extra_ns;
+  busy_[global_lun].ops = ops;
+}
+
+bool FaultInjector::OnRead(const Ppa& ppa, ReadOutcome* outcome) {
+  if (read_scripts_.empty()) return false;
+  auto it = read_scripts_.find(ppa.Flatten(geometry_));
+  if (it == read_scripts_.end()) return false;
+  ReadScript& script = it->second;
+  ++script.seen;
+  if (script.sticky) {
+    *outcome = script.sticky_outcome;
+    counters_.Increment("read_faults_fired");
+    return true;
+  }
+  auto hit = script.nth.find(script.seen);
+  if (hit == script.nth.end()) return false;
+  *outcome = hit->second;
+  script.nth.erase(hit);
+  counters_.Increment("read_faults_fired");
+  return true;
+}
+
+bool FaultInjector::OnErase(const BlockAddr& addr) {
+  if (erase_scripts_.empty()) return false;
+  auto it = erase_scripts_.find(addr.Flatten(geometry_));
+  if (it == erase_scripts_.end()) return false;
+  EraseScript& script = it->second;
+  ++script.seen;
+  auto hit = script.nth.find(script.seen);
+  if (hit == script.nth.end()) return false;
+  script.nth.erase(hit);
+  counters_.Increment("erase_faults_fired");
+  return true;
+}
+
+SimTime FaultInjector::StuckBusyPenalty(std::uint32_t global_lun) {
+  if (global_lun >= busy_.size()) return 0;
+  BusyScript& script = busy_[global_lun];
+  if (script.ops == 0) return 0;
+  --script.ops;
+  counters_.Increment("busy_penalties");
+  return script.extra_ns;
+}
+
+}  // namespace postblock::flash

@@ -54,20 +54,24 @@ void BlockFtl::RunNext(std::uint32_t lun) {
   });
 }
 
-flash::BlockAddr BlockFtl::TakeFreeBlock(std::uint32_t lun) {
+bool BlockFtl::TakeFreeBlock(std::uint32_t lun, flash::BlockAddr* out) {
   LunState& st = luns_[lun];
-  // The geometry guarantees at least one spare per LUN beyond the
-  // user-visible vblocks (over-provisioning), so merges never starve.
+  if (st.free_blocks.empty()) {
+    // Over-provisioning normally leaves spares beyond the user-visible
+    // vblocks, but erase retirement eats into them permanently.
+    counters_.Increment("free_list_exhausted");
+    return false;
+  }
   std::vector<std::uint32_t> wear;
   wear.reserve(st.free_blocks.size());
   for (const auto& b : st.free_blocks) {
     wear.push_back(controller_->flash()->GetBlockInfo(b).erase_count);
   }
   const std::size_t pick = wear_leveler_.SelectFreeBlock(wear);
-  const flash::BlockAddr addr = st.free_blocks[pick];
+  *out = st.free_blocks[pick];
   st.free_blocks.erase(st.free_blocks.begin() +
                        static_cast<std::ptrdiff_t>(pick));
-  return addr;
+  return true;
 }
 
 void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
@@ -75,6 +79,14 @@ void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
   if (lba >= user_pages_) {
     controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::OutOfRange("write beyond device"));
+    });
+    return;
+  }
+  if (controller_->read_only()) {
+    counters_.Increment("writes_rejected_read_only");
+    controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::ResourceExhausted(
+          "device is read-only: bad-block spares exhausted"));
     });
     return;
   }
@@ -97,7 +109,11 @@ void BlockFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
       // In-order append (possibly with a gap): the cheap path that makes
       // sequential writes fast on block-mapped devices.
       if (!e.mapped) {
-        e.phys = TakeFreeBlock(lun);
+        if (!TakeFreeBlock(lun, &e.phys)) {
+          cb(Status::ResourceExhausted("no free blocks on lun"));
+          op_done();
+          return;
+        }
         e.mapped = true;
       }
       counters_.Increment("direct_writes");
@@ -154,7 +170,15 @@ void BlockFtl::Merge(std::uint32_t lun, std::uint64_t vblock,
   VBlockEntry& e = map_[vblock];
   job->had_old = e.mapped;
   if (e.mapped) job->old_phys = e.phys;
-  job->new_phys = TakeFreeBlock(lun);
+  if (!TakeFreeBlock(lun, &job->new_phys)) {
+    // No destination block: the merge (and the write that forced it)
+    // cannot proceed. Nothing has been copied or erased yet, so the old
+    // mapping stays intact and readable.
+    controller_->sim()->Schedule(0, [done = std::move(done)]() mutable {
+      done(Status::ResourceExhausted("no free blocks on lun"));
+    });
+    return;
+  }
   job->done = std::move(done);
   job->ctx = ctx;
 

@@ -59,7 +59,11 @@ class BlockFtl : public Ftl {
   std::uint32_t LunOf(std::uint64_t vblock) const {
     return static_cast<std::uint32_t>(vblock % luns_.size());
   }
-  flash::BlockAddr TakeFreeBlock(std::uint32_t lun);
+  /// Pops the wear-leveler's pick from the LUN's free list. Returns
+  /// false when the list is empty (erase retirement can consume the
+  /// over-provisioned spares) — callers must fail the write rather than
+  /// index into an empty vector.
+  bool TakeFreeBlock(std::uint32_t lun, flash::BlockAddr* out);
 
   // The merge engine: builds a fresh physical block containing the old
   // block's live pages plus (optionally) one new page at `new_off`.

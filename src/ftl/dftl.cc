@@ -101,9 +101,13 @@ void Dftl::EnsureCached(std::uint64_t tp, bool make_dirty,
     }
     counters_.Increment("map_reads");
     base_->Read(MapLba(tp),
-                [insert_and_drain](StatusOr<std::uint64_t>) {
+                [this, insert_and_drain](StatusOr<std::uint64_t> res) {
                   // Content is authoritative in the resident directory;
                   // the read existed for its timing + channel traffic.
+                  // An uncorrectable translation page is survivable for
+                  // the same reason — but it must be visible in the
+                  // counters, not silently absorbed.
+                  if (!res.ok()) counters_.Increment("map_read_failures");
                   insert_and_drain();
                 });
   };
@@ -126,8 +130,10 @@ void Dftl::EnsureCached(std::uint64_t tp, bool make_dirty,
   counters_.Increment("cmt_evictions_dirty");
   counters_.Increment("map_writes");
   tp_persisted_[victim] = true;
-  base_->Write(MapLba(victim), /*token=*/victim,
-               [fetch](Status) { fetch(); });
+  base_->Write(MapLba(victim), /*token=*/victim, [this, fetch](Status st) {
+    if (!st.ok()) counters_.Increment("map_write_failures");
+    fetch();
+  });
 }
 
 void Dftl::Write(Lba lba, std::uint64_t token, WriteCallback cb,

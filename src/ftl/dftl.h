@@ -49,6 +49,12 @@ class Dftl : public Ftl {
   /// CMT occupancy (tests).
   std::size_t cached_translation_pages() const { return cmt_.size(); }
 
+  /// Test hooks: the internal PageFtl holding data + translation pages,
+  /// and the logical LBA of translation page `tp` within it (lets fault
+  /// tests target the flash copy of a translation page).
+  PageFtl* base() { return base_.get(); }
+  Lba translation_lba(std::uint64_t tp) const { return MapLba(tp); }
+
  private:
   struct CmtEntry {
     std::list<std::uint64_t>::iterator lru_pos;

@@ -61,18 +61,22 @@ void HybridFtl::RunNext(std::uint32_t lun) {
   });
 }
 
-flash::BlockAddr HybridFtl::TakeFreeBlock(std::uint32_t lun) {
+bool HybridFtl::TakeFreeBlock(std::uint32_t lun, flash::BlockAddr* out) {
   LunState& st = luns_[lun];
+  if (st.free_blocks.empty()) {
+    counters_.Increment("free_list_exhausted");
+    return false;
+  }
   std::vector<std::uint32_t> wear;
   wear.reserve(st.free_blocks.size());
   for (const auto& b : st.free_blocks) {
     wear.push_back(controller_->flash()->GetBlockInfo(b).erase_count);
   }
   const std::size_t pick = wear_leveler_.SelectFreeBlock(wear);
-  const flash::BlockAddr addr = st.free_blocks[pick];
+  *out = st.free_blocks[pick];
   st.free_blocks.erase(st.free_blocks.begin() +
                        static_cast<std::ptrdiff_t>(pick));
-  return addr;
+  return true;
 }
 
 void HybridFtl::ReleaseBlock(std::uint32_t lun, flash::BlockAddr addr,
@@ -109,6 +113,14 @@ void HybridFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
     });
     return;
   }
+  if (controller_->read_only()) {
+    counters_.Increment("writes_rejected_read_only");
+    controller_->sim()->Schedule(0, [cb = std::move(cb)]() {
+      cb(Status::ResourceExhausted(
+          "device is read-only: bad-block spares exhausted"));
+    });
+    return;
+  }
   counters_.Increment("host_writes");
   counters_.Increment("host_pages_accepted");
   const auto& g = controller_->config().geometry;
@@ -133,7 +145,10 @@ void HybridFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
     if (e.log_index < 0 && (!e.data_mapped || off >= write_point)) {
       // In-order append into the data block.
       if (!e.data_mapped) {
-        e.data_phys = TakeFreeBlock(lun);
+        if (!TakeFreeBlock(lun, &e.data_phys)) {
+          finish(Status::ResourceExhausted("no free blocks on lun"));
+          return;
+        }
         e.data_mapped = true;
       }
       counters_.Increment("direct_writes");
@@ -185,7 +200,12 @@ void HybridFtl::WriteToLog(std::uint32_t lun, std::uint64_t vblock,
       return;
     }
     LogBlock& log = st.logs[free_slot];
-    log.phys = TakeFreeBlock(lun);
+    if (!TakeFreeBlock(lun, &log.phys)) {
+      controller_->sim()->Schedule(0, [done = std::move(done)]() mutable {
+        done(Status::ResourceExhausted("no free blocks on lun"));
+      });
+      return;
+    }
     log.vblock = vblock;
     log.next_page = 0;
     log.offset_map.assign(g.pages_per_block, kUnmappedPage);
@@ -282,6 +302,14 @@ void HybridFtl::MergeVBlock(std::uint32_t lun, std::uint64_t vblock,
   auto job = std::make_shared<Job>();
   job->lun = lun;
   job->vblock = vblock;
+  // Claim the destination before touching the log slot: on exhaustion
+  // the vblock's data+log mappings stay intact and readable.
+  if (!TakeFreeBlock(lun, &job->merged)) {
+    controller_->sim()->Schedule(0, [done = std::move(done)]() mutable {
+      done(Status::ResourceExhausted("no free blocks on lun"));
+    });
+    return;
+  }
   job->had_data = e.data_mapped;
   if (e.data_mapped) job->old_data = e.data_phys;
   if (log != nullptr) {
@@ -291,7 +319,6 @@ void HybridFtl::MergeVBlock(std::uint32_t lun, std::uint64_t vblock,
     log->vblock = ~0ull;  // slot released up front (merge owns the block)
     e.log_index = -1;
   }
-  job->merged = TakeFreeBlock(lun);
   job->done = std::move(done);
 
   auto step = std::make_shared<std::function<void()>>();

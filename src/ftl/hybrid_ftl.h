@@ -76,7 +76,11 @@ class HybridFtl : public Ftl {
   std::uint32_t LunOf(std::uint64_t vblock) const {
     return static_cast<std::uint32_t>(vblock % luns_.size());
   }
-  flash::BlockAddr TakeFreeBlock(std::uint32_t lun);
+  /// Pops the wear-leveler's pick from the LUN's free list. Returns
+  /// false when the list is empty (erase retirement can consume the
+  /// reserved spares) — callers must fail the write rather than index
+  /// into an empty vector.
+  bool TakeFreeBlock(std::uint32_t lun, flash::BlockAddr* out);
   void ReleaseBlock(std::uint32_t lun, flash::BlockAddr addr,
                     std::function<void()> done);
 

@@ -16,6 +16,13 @@ struct MapEntry {
   flash::Ppa ppa;
   SequenceNumber seq = 0;
   bool mapped = false;
+  /// The data at `ppa` was lost (uncorrectable ECC survived the whole
+  /// retry ladder, typically during GC relocation) and the physical
+  /// page may since have been erased and reused. Reads of a poisoned
+  /// LBA return DataLoss deterministically — never stale data, never a
+  /// different LBA's data. A fresh host write or trim clears the
+  /// poison.
+  bool poisoned = false;
 };
 
 /// Metadata the GC / wear-leveling policies see for each block.

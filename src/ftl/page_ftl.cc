@@ -49,6 +49,8 @@ PageFtl::PageFtl(ssd::Controller* controller, std::uint64_t logical_pages)
       }
     }
   }
+  controller_->SetRefreshListener(
+      [this](const flash::BlockAddr& block) { OnRefreshRequest(block); });
 }
 
 double PageFtl::WriteAmplification() const {
@@ -66,6 +68,15 @@ void PageFtl::RegisterMetrics(metrics::MetricRegistry* m) {
   });
   m->AddPolledCounter("ftl.blocks_retired", [this] {
     return counters_.Get("blocks_retired");
+  });
+  m->AddPolledCounter("ftl.pages_poisoned", [this] {
+    return counters_.Get("pages_poisoned");
+  });
+  m->AddPolledCounter("ftl.refresh_runs", [this] {
+    return counters_.Get("refresh_runs");
+  });
+  m->AddGauge("ftl.spare_blocks", [this] {
+    return static_cast<double>(controller_->spare_blocks_total());
   });
   // Free-block gauges: the paper's GC trigger state. min catches the
   // LUN about to cross the low watermark, which the total can hide.
@@ -95,7 +106,9 @@ void PageFtl::RegisterMetrics(metrics::MetricRegistry* m) {
 }
 
 std::optional<flash::Ppa> PageFtl::Locate(Lba lba) const {
-  if (lba >= logical_pages_ || !map_[lba].mapped) return std::nullopt;
+  if (lba >= logical_pages_ || !map_[lba].mapped || map_[lba].poisoned) {
+    return std::nullopt;
+  }
   return map_[lba].ppa;
 }
 
@@ -107,6 +120,13 @@ void PageFtl::Write(Lba lba, std::uint64_t token, WriteCallback cb,
                     trace::Ctx ctx) {
   if (lba >= logical_pages_) {
     PostGuarded(std::move(cb), Status::OutOfRange("write beyond device"));
+    return;
+  }
+  if (controller_->read_only()) {
+    counters_.Increment("writes_rejected_read_only");
+    PostGuarded(std::move(cb),
+                Status::ResourceExhausted(
+                    "device is read-only: bad-block spares exhausted"));
     return;
   }
   counters_.Increment("host_writes");
@@ -126,6 +146,13 @@ void PageFtl::WriteAtomic(std::vector<std::pair<Lba, std::uint64_t>> pages,
                           WriteCallback cb, trace::Ctx ctx) {
   if (pages.empty()) {
     PostGuarded(std::move(cb), Status::Ok());
+    return;
+  }
+  if (controller_->read_only()) {
+    counters_.Increment("writes_rejected_read_only");
+    PostGuarded(std::move(cb),
+                Status::ResourceExhausted(
+                    "device is read-only: bad-block spares exhausted"));
     return;
   }
   for (const auto& [lba, token] : pages) {
@@ -375,8 +402,10 @@ void PageFtl::ApplyMapping(const PendingWrite& w, const flash::Ppa& ppa) {
   MapEntry& e = map_[w.lba];
   if (w.is_relocate) {
     if (e.mapped && e.seq == w.seq && e.ppa == w.expected_old) {
-      InvalidatePage(e.ppa);
+      if (!e.poisoned) InvalidatePage(e.ppa);
       e.ppa = ppa;
+      // A copy taken before the cells died rescues a poisoned LBA.
+      e.poisoned = false;
       if (migration_listener_) {
         migration_listener_(w.lba, w.expected_old, ppa);
       }
@@ -390,10 +419,13 @@ void PageFtl::ApplyMapping(const PendingWrite& w, const flash::Ppa& ppa) {
   if (w.seq > e.seq) {
     // Note: an unmapped entry still carries the seq of the trim that
     // unmapped it — a write submitted before that trim must not win.
-    if (e.mapped) InvalidatePage(e.ppa);
+    // A poisoned entry's old ppa was invalidated at poison time and may
+    // point at recycled flash — never touch it again.
+    if (e.mapped && !e.poisoned) InvalidatePage(e.ppa);
     e.ppa = ppa;
     e.seq = w.seq;
     e.mapped = true;
+    e.poisoned = false;
   } else {
     // Superseded while in flight (a newer write or trim completed
     // first); this copy was never visible.
@@ -485,12 +517,21 @@ void PageFtl::ReadAttempt(Lba lba, int tries, ReadCallback cb,
     PostGuarded(std::move(cb), StatusOr<std::uint64_t>(std::uint64_t{0}));
     return;
   }
+  if (e.poisoned) {
+    // The data is known-lost and the physical page may be recycled:
+    // answer DataLoss without touching flash (definite, repeatable).
+    counters_.Increment("host_reads_poisoned");
+    PostGuarded(std::move(cb),
+                StatusOr<std::uint64_t>(Status::DataLoss(
+                    "lba " + std::to_string(lba) + " lost to media")));
+    return;
+  }
   const flash::Ppa ppa = e.ppa;
   const SequenceNumber expected_seq = e.seq;
   const std::uint64_t epoch = epoch_;
   controller_->ReadPage(
       ppa,
-      [this, lba, tries, expected_seq, epoch, ctx,
+      [this, lba, tries, ppa, expected_seq, epoch, ctx,
        cb = std::move(cb)](StatusOr<flash::PageData> res) mutable {
         if (epoch != epoch_) return;  // power-cycled away
         if (res.ok() && res->lba == lba && res->seq == expected_seq) {
@@ -498,7 +539,10 @@ void PageFtl::ReadAttempt(Lba lba, int tries, ReadCallback cb,
           return;
         }
         if (!res.ok() && res.status().IsDataLoss()) {
+          // The whole retry ladder failed: the payload is gone for
+          // good. Poison so later reads answer without re-sensing.
           counters_.Increment("read_failures");
+          PoisonMapping(lba, ppa, expected_seq);
           cb(res.status());
           return;
         }
@@ -529,9 +573,14 @@ void PageFtl::Trim(Lba lba, WriteCallback cb, trace::Ctx /*ctx*/) {
   e.seq = next_seq_++;
   std::uint32_t lun_of_old = ~0u;
   if (e.mapped) {
-    lun_of_old = e.ppa.GlobalLun(geom());
-    InvalidatePage(e.ppa);
+    if (!e.poisoned) {
+      // (Poisoned: the old copy was invalidated at poison time and the
+      // ppa may be recycled flash.)
+      lun_of_old = e.ppa.GlobalLun(geom());
+      InvalidatePage(e.ppa);
+    }
     e.mapped = false;
+    e.poisoned = false;
   }
   PostGuarded(std::move(cb), Status::Ok());
   if (lun_of_old != ~0u) MaybeStartGc(lun_of_old);
@@ -569,9 +618,81 @@ bool PageFtl::GcFeasible(std::uint32_t lun) const {
   return false;
 }
 
+// ---------------------------------------------------------------------
+// Reliability: poisoning & refresh
+// ---------------------------------------------------------------------
+
+void PageFtl::PoisonMapping(Lba lba, const flash::Ppa& ppa,
+                            SequenceNumber seq) {
+  if (lba >= logical_pages_) return;
+  MapEntry& e = map_[lba];
+  if (!e.mapped || e.poisoned || e.seq != seq || !(e.ppa == ppa)) return;
+  e.poisoned = true;
+  counters_.Increment("pages_poisoned");
+  // The copy is garbage now; let the owning block be collected/erased.
+  InvalidatePage(ppa);
+}
+
+void PageFtl::PoisonLostPage(const flash::Ppa& ppa) {
+  // The payload died but the OOB area is separately protected (same
+  // assumption the PowerCycle rescan rests on): recover the identity of
+  // the lost page from it.
+  auto peek = controller_->flash()->Peek(ppa);
+  if (!peek.ok()) return;
+  if (peek->lba == flash::kAtomicCommitLba) {
+    // A commit marker's payload is irrelevant; its OOB still proves the
+    // group committed. Nothing to poison.
+    return;
+  }
+  PoisonMapping(peek->lba, ppa, peek->seq);
+}
+
+void PageFtl::OnRefreshRequest(const flash::BlockAddr& block) {
+  if (controller_->read_only()) return;
+  const std::uint32_t lun = GlobalLun(block);
+  luns_[lun].refresh_queue.push_back(block);
+  counters_.Increment("refresh_requests");
+  MaybeStartGc(lun);
+}
+
+bool PageFtl::MaybeStartRefresh(std::uint32_t lun) {
+  LunState& st = luns_[lun];
+  while (!st.refresh_queue.empty()) {
+    const flash::BlockAddr block = st.refresh_queue.front();
+    const std::uint64_t flat = FlatBlock(block);
+    if (is_free_[flat] ||
+        controller_->flash()->GetBlockInfo(block).bad) {
+      // Already recycled or retired; nothing left to rescue.
+      st.refresh_queue.pop_front();
+      continue;
+    }
+    if (is_active_[flat] || in_flight_[flat] > 0) {
+      // Still being written; retry at the next pump.
+      return false;
+    }
+    st.refresh_queue.pop_front();
+    st.gc_running = true;
+    st.collecting_wl = false;
+    st.gc_ctx = trace::Ctx{
+        tracer_ != nullptr ? tracer_->NewSpan() : trace::SpanId{0}, 0,
+        trace::Origin::kGc};
+    st.gc_start = controller_->sim()->Now();
+    counters_.Increment("refresh_runs");
+    CollectBlock(lun, block, /*is_wl=*/false);
+    return true;
+  }
+  return false;
+}
+
 void PageFtl::MaybeStartGc(std::uint32_t lun) {
   LunState& st = luns_[lun];
   if (st.gc_running) return;
+  // Spares exhausted: every further erase is a liability and writes are
+  // rejected anyway — stop background work, keep serving reads.
+  if (controller_->read_only()) return;
+  // Refresh requests outrank the watermark: the block is actively
+  // decaying and must be rescued before its reads go uncorrectable.
+  if (MaybeStartRefresh(lun)) return;
   if (st.free_blocks.size() >=
       controller_->config().gc.low_watermark_blocks) {
     MaybeStartStaticWl(lun);
@@ -659,9 +780,12 @@ void PageFtl::RelocatePage(std::uint32_t lun, flash::Ppa ppa, bool is_wl,
        done = std::move(done)](StatusOr<flash::PageData> res) mutable {
         if (epoch != epoch_) return;
         if (!res.ok()) {
-          // ECC death during GC: the copy is lost. Count it and move on
-          // (the host read path will report DataLoss).
+          // ECC death during GC: the copy is lost. Poison the mapping
+          // *before* the victim erase is allowed to proceed — leaving
+          // it pointing into the about-to-be-recycled block would let
+          // a later host read return a different LBA's data.
           counters_.Increment("gc_read_failures");
+          PoisonLostPage(ppa);
           done();
           return;
         }
@@ -754,6 +878,7 @@ Status PageFtl::PowerCycle() {
     st.free_blocks.clear();
     st.gc_ctx = trace::Ctx{};
     st.gc_start = 0;
+    st.refresh_queue.clear();
   }
   atomic_groups_.clear();
   atomic_live_.clear();

@@ -121,6 +121,9 @@ class PageFtl : public Ftl {
     /// GC erases since the last WL migration (WL pacing).
     std::uint32_t erases_since_wl = 0;
     bool stalled = false;  // host queue blocked on free space
+    /// Blocks past the correctable-read threshold, awaiting refresh
+    /// (relocate-and-erase before the errors go uncorrectable).
+    std::deque<flash::BlockAddr> refresh_queue;
     /// Trace identity of the collection in progress (gc_running): all
     /// its relocations and the final erase carry gc_ctx, so the victim
     /// ops show up GC-tagged on the flash tracks; the whole collection
@@ -156,6 +159,17 @@ class PageFtl : public Ftl {
   void ApplyMapping(const PendingWrite& w, const flash::Ppa& ppa);
   /// MarkInvalid plus atomic-group live-count bookkeeping.
   void InvalidatePage(const flash::Ppa& ppa);
+
+  // Reliability.
+  /// Poisons the mapping of whatever LBA currently lives at `ppa` (OOB
+  /// reverse lookup — the spare area is separately protected and
+  /// survives a payload loss). No-op if the mapping moved on.
+  void PoisonLostPage(const flash::Ppa& ppa);
+  void PoisonMapping(Lba lba, const flash::Ppa& ppa, SequenceNumber seq);
+  /// Controller refresh listener: queue `block` for relocate-and-erase.
+  void OnRefreshRequest(const flash::BlockAddr& block);
+  /// Pops eligible refresh requests; true if a collection was started.
+  bool MaybeStartRefresh(std::uint32_t lun);
 
   // Read pipeline.
   void ReadAttempt(Lba lba, int tries, ReadCallback cb, trace::Ctx ctx);

@@ -9,6 +9,10 @@
 #include "flash/geometry.h"
 #include "flash/timing.h"
 
+namespace postblock::flash {
+class FaultInjector;
+}  // namespace postblock::flash
+
 namespace postblock::trace {
 class Tracer;
 }  // namespace postblock::trace
@@ -87,11 +91,40 @@ struct WriteBufferConfig {
   std::uint32_t drain_depth_per_lun = 1;
 };
 
+/// Controller-level error recovery (the reliability layer over the
+/// chip's stochastic ErrorModel — Myth 1's "error management must
+/// happen at the SSD level"). Defaults are always-on but cost nothing
+/// on clean runs: every knob only acts when ECC actually reports an
+/// error.
+struct ReliabilityConfig {
+  /// Read-retry ladder depth: after an uncorrectable first read the
+  /// controller re-senses up to this many more times, each rung adding
+  /// an escalating multiple of the array read time. 0 disables.
+  std::uint32_t read_retry_steps = 4;
+  /// Extra array time per rung = rung_index * this fraction of tR.
+  double retry_latency_factor = 1.0;
+  /// After this many *correctable* reads from one physical block the
+  /// FTL refreshes it (relocates live data before errors become
+  /// uncorrectable). 0 disables refresh.
+  std::uint32_t refresh_correctable_threshold = 8;
+  /// Bad-block spare budget per LUN. Erase-retirement consumes a spare
+  /// credit instead of silently shrinking over-provisioning; when a
+  /// LUN exhausts its credits the device goes read-only (writes fail
+  /// with ResourceExhausted; reads still serve).
+  std::uint32_t spare_blocks_per_lun = 4;
+};
+
 /// Everything needed to build a simulated SSD.
 struct Config {
   flash::Geometry geometry;
   flash::Timing timing;
   flash::ErrorModelConfig errors = flash::ErrorModelConfig::None();
+  ReliabilityConfig reliability;
+
+  /// Scripted fault injector layered over `errors` (not owned; may be
+  /// null). Deterministic: consumes no Rng draws, so attaching an
+  /// empty one changes nothing.
+  flash::FaultInjector* fault_injector = nullptr;
 
   FtlKind ftl = FtlKind::kPageMap;
   PlacementKind placement = PlacementKind::kChannelStripe;

@@ -29,12 +29,18 @@ Controller::Controller(sim::Simulator* sim, const Config& config)
     }
   }
   unit_gc_.resize(units_.size());
+  injector_ = config_.fault_injector;
+  flash_.set_fault_injector(injector_);
+  spares_.assign(g.luns(), config_.reliability.spare_blocks_per_lun);
   if (tracer_ != nullptr) {
     unit_tracks_.reserve(units_.size());
     for (const auto& u : units_) {
       unit_tracks_.push_back(
           tracer_->RegisterTrack(trace::kPidFlash, u->name()));
     }
+    // Media-health events (retry rungs, block retirement) on their own
+    // track, so error handling is visible next to the op timeline.
+    health_track_ = tracer_->RegisterTrack(trace::kPidFlash, "health");
     flash_.set_tracer(tracer_, sim_);
   }
   if (metrics_ != nullptr) RegisterMetrics();
@@ -53,6 +59,27 @@ void Controller::RegisterMetrics() {
   m_read_lat_ = m->AddHistogram("ssd.read_lat_ns");
   m_program_lat_ = m->AddHistogram("ssd.program_lat_ns");
   m_erase_lat_ = m->AddHistogram("ssd.erase_lat_ns");
+  // Reliability layer: retry-ladder activity, ECC outcomes, retirement
+  // and the bad-block spare budget.
+  m_read_retries_ = m->AddCounter("ssd.read_retries");
+  m_blocks_retired_ = m->AddCounter("ssd.blocks_retired");
+  // Host-visible latency of reads that needed at least one retry rung
+  // (the "retry latency tax"), windowed like the other op histograms.
+  m_retry_lat_ = m->AddHistogram("ssd.read_retry_lat_ns");
+  m->AddPolledCounter("ssd.reads_correctable", [this] {
+    return flash_.counters().Get("reads_correctable");
+  });
+  m->AddPolledCounter("ssd.reads_uncorrectable", [this] {
+    return flash_.counters().Get("reads_uncorrectable");
+  });
+  m->AddPolledCounter("ssd.erase_failures", [this] {
+    return flash_.counters().Get("erase_failures");
+  });
+  m->AddGauge("ssd.spare_blocks", [this] {
+    return static_cast<double>(spare_blocks_total());
+  });
+  m->AddGauge("ssd.read_only",
+              [this] { return read_only_ ? 1.0 : 0.0; });
   // Busy-time integrals: per-window deltas over these divided by the
   // window length give busy fractions (BusyClock arithmetic, PR 2).
   m->AddPolledCounter("ssd.energy_nj", [this] {
@@ -121,6 +148,7 @@ void Controller::StartOp(Op* op, trace::Ctx ctx,
   op->start = sim_->Now();
   op->epoch = epoch_;
   op->ctx = ctx;
+  op->retry = 0;
   op->lun = units_[op->unit].get();
   op->chan = channels_[op->src.channel].get();
   op->wait_start = op->start;
@@ -207,8 +235,15 @@ void Controller::ReadPage(const flash::Ppa& ppa, ReadCallback on_done,
 void Controller::ReadArrayPhase(Op* op) {
   // Array read: page cells -> on-chip page register. LUN is busy; the
   // channel is not (command cycles folded into the array time).
-  const SimTime array_read =
-      config_.timing.cmd_ns + config_.timing.read_ns;
+  // Retry-ladder rungs re-sense with tuned reference voltages, each
+  // adding an escalating multiple of the base array time.
+  SimTime array_read = config_.timing.cmd_ns + config_.timing.read_ns;
+  if (op->retry > 0) {
+    array_read += static_cast<SimTime>(
+        static_cast<double>(config_.timing.read_ns) *
+        config_.reliability.retry_latency_factor * op->retry);
+  }
+  array_read += StuckPenalty(op);
   RecordCellOp(op, array_read);
   auto next = [this, op] { ReadTransferPhase(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
@@ -228,25 +263,76 @@ void Controller::FinishRead(Op* op) {
     ReleaseOp(op);
     return;
   }
-  auto result = flash_.Read(op->src);
-  const SimTime latency = sim_->Now() - op->start;
-  read_latency_.Record(latency);
-  if (metrics_ != nullptr) {
-    // Mirror flash counters: a read that fails only on uncorrectable
-    // ECC (DataLoss) still counted as a page read.
-    if (result.ok() || result.status().IsDataLoss()) {
-      metrics_->Increment(m_pages_read_);
-    }
-    metrics_->Record(m_read_lat_, latency);
+  flash::ReadOutcome outcome = flash::ReadOutcome::kClean;
+  auto result = flash_.Read(op->src, &outcome, op->retry);
+  // Per-attempt accounting: every rung is a real array read + transfer,
+  // so energy and the pages_read mirror track flash_.counters() (which
+  // also count per attempt).
+  if (metrics_ != nullptr &&
+      (result.ok() || result.status().IsDataLoss())) {
+    metrics_->Increment(m_pages_read_);
   }
   const auto& t = config_.timing;
   flash_.mutable_counters()->Add(
       "energy_nj",
       t.read_energy_nj +
           t.transfer_nj_per_kib * config_.geometry.page_size_bytes / 1024);
+  if (!result.ok() && result.status().IsDataLoss() &&
+      op->retry < config_.reliability.read_retry_steps) {
+    ++op->retry;
+    ++read_retries_;
+    flash_.mutable_counters()->Increment("read_retries");
+    if (metrics_ != nullptr) metrics_->Increment(m_read_retries_);
+    if (Traced(op)) {
+      const SimTime now = sim_->Now();
+      tracer_->Record(trace::Stage::kCellOp, op->ctx.origin, op->ctx.span,
+                      op->ctx.parent, health_track_, now, now + 1,
+                      op->src.block);
+    }
+    RetryRead(op);
+    return;
+  }
+  const SimTime latency = sim_->Now() - op->start;
+  read_latency_.Record(latency);
+  if (metrics_ != nullptr) {
+    metrics_->Record(m_read_lat_, latency);
+    if (op->retry > 0) metrics_->Record(m_retry_lat_, latency);
+  }
+  if (outcome == flash::ReadOutcome::kCorrectable) NoteCorrectable(op->src);
   ReadCallback cb = std::move(op->read_cb);
   ReleaseOp(op);
   cb(std::move(result));
+}
+
+void Controller::RetryRead(Op* op) {
+  // Back into the unit's queue: the ladder competes with other work
+  // like any op, but keeps its original start time so the final
+  // latency shows the whole tax.
+  op->wait_start = sim_->Now();
+  op->gc_mark = unit_gc_[op->unit].Total(op->wait_start);
+  auto grant = [this, op] {
+    OnUnitGrant(op);
+    ReadArrayPhase(op);
+  };
+  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
+  op->lun->Acquire(grant);
+}
+
+void Controller::NoteCorrectable(const flash::Ppa& ppa) {
+  const std::uint32_t threshold =
+      config_.reliability.refresh_correctable_threshold;
+  if (threshold == 0) return;
+  const std::uint64_t key = ppa.Block().Flatten(config_.geometry);
+  const std::uint32_t count = ++correctable_counts_[key];
+  if (count < threshold) return;
+  correctable_counts_.erase(key);
+  flash_.mutable_counters()->Increment("refresh_triggers");
+  if (refresh_) refresh_(ppa.Block());
+}
+
+SimTime Controller::StuckPenalty(const Op* op) {
+  if (injector_ == nullptr) return 0;
+  return injector_->StuckBusyPenalty(op->src.GlobalLun(config_.geometry));
 }
 
 // --- Program: [channel: transfer in] then [LUN: array program] ---------
@@ -271,10 +357,11 @@ void Controller::ProgramTransferPhase(Op* op) {
 
 void Controller::ProgramArrayPhase(Op* op) {
   // Array program: page register -> cells (LUN busy, bus free).
-  RecordCellOp(op, config_.timing.program_ns);
+  const SimTime busy = config_.timing.program_ns + StuckPenalty(op);
+  RecordCellOp(op, busy);
   auto next = [this, op] { FinishProgram(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  sim_->Schedule(config_.timing.program_ns, next);
+  sim_->Schedule(busy, next);
 }
 
 void Controller::FinishProgram(Op* op) {
@@ -329,7 +416,8 @@ void Controller::CopybackCommandPhase(Op* op) {
 }
 
 void Controller::CopybackBusyPhase(Op* op) {
-  const SimTime busy = config_.timing.read_ns + config_.timing.program_ns;
+  const SimTime busy =
+      config_.timing.read_ns + config_.timing.program_ns + StuckPenalty(op);
   RecordCellOp(op, busy);
   auto next = [this, op] { FinishCopyback(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
@@ -378,10 +466,11 @@ void Controller::EraseCommandPhase(Op* op) {
 }
 
 void Controller::EraseBusyPhase(Op* op) {
-  RecordCellOp(op, config_.timing.erase_ns);
+  const SimTime busy = config_.timing.erase_ns + StuckPenalty(op);
+  RecordCellOp(op, busy);
   auto next = [this, op] { FinishErase(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  sim_->Schedule(config_.timing.erase_ns, next);
+  sim_->Schedule(busy, next);
 }
 
 void Controller::FinishErase(Op* op) {
@@ -398,6 +487,27 @@ void Controller::FinishErase(Op* op) {
     // block (DataLoss) still counted as a block erase.
     if (st.ok() || st.IsDataLoss()) metrics_->Increment(m_blocks_erased_);
     metrics_->Record(m_erase_lat_, latency);
+  }
+  if (st.IsDataLoss()) {
+    // The erase retired the block: burn a spare credit instead of
+    // silently shrinking over-provisioning. A LUN out of credits can
+    // no longer replace capacity, so the device fails safe: read-only.
+    ++blocks_retired_;
+    if (metrics_ != nullptr) metrics_->Increment(m_blocks_retired_);
+    if (Traced(op)) {
+      const SimTime now = sim_->Now();
+      tracer_->Record(trace::Stage::kCellOp, op->ctx.origin, op->ctx.span,
+                      op->ctx.parent, health_track_, now, now + 1,
+                      op->src.block);
+    }
+    const std::uint32_t gl = op->src.GlobalLun(config_.geometry);
+    if (gl < spares_.size()) {
+      if (spares_[gl] > 0) --spares_[gl];
+      if (spares_[gl] == 0) read_only_ = true;
+    }
+  } else if (st.ok() && !correctable_counts_.empty()) {
+    // A fresh erase resets the block's correctable-read history.
+    correctable_counts_.erase(op->src.Block().Flatten(config_.geometry));
   }
   flash_.mutable_counters()->Add("energy_nj",
                                  config_.timing.erase_energy_nj);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
@@ -105,6 +106,32 @@ class Controller {
 
   trace::Tracer* tracer() { return tracer_; }
   metrics::MetricRegistry* metrics() { return metrics_; }
+
+  // --- Reliability layer (Myth 1: error management at the SSD level) --
+  /// Fires when a physical block crosses the correctable-read
+  /// threshold: the FTL should refresh it (relocate live data) before
+  /// its errors become uncorrectable. Called at most once per block
+  /// between erases, from a read-completion context.
+  using RefreshListener = std::function<void(const flash::BlockAddr&)>;
+  void SetRefreshListener(RefreshListener cb) { refresh_ = std::move(cb); }
+
+  /// True once any LUN has exhausted its bad-block spare budget: the
+  /// device fails writes (ResourceExhausted) but keeps serving reads —
+  /// the fail-safe real SSDs implement, never UB.
+  bool read_only() const { return read_only_; }
+  std::uint32_t spare_blocks(std::uint32_t global_lun) const {
+    return global_lun < spares_.size() ? spares_[global_lun] : 0;
+  }
+  std::uint64_t spare_blocks_total() const {
+    std::uint64_t total = 0;
+    for (std::uint32_t s : spares_) total += s;
+    return total;
+  }
+  /// Blocks retired by erase failure, as observed at the controller —
+  /// cross-checks flash counters "erase_failures" and the FTLs'
+  /// "blocks_retired".
+  std::uint64_t blocks_retired() const { return blocks_retired_; }
+  std::uint64_t read_retries() const { return read_retries_; }
   /// Trace track of a serial execution unit (for FTL instrumentation
   /// that wants to annotate a LUN's timeline).
   std::uint32_t unit_track(std::uint32_t unit) const {
@@ -149,6 +176,7 @@ class Controller {
     SimTime wait_start = 0;      // when the op began waiting on its unit
     std::uint64_t gc_mark = 0;   // unit GC-busy integral at wait start
     std::uint32_t unit = 0;
+    std::uint32_t retry = 0;     // read-retry ladder rung (0 = first try)
   };
 
   Op* AcquireOp();
@@ -171,6 +199,13 @@ class Controller {
   void ReadArrayPhase(Op* op);
   void ReadTransferPhase(Op* op);
   void FinishRead(Op* op);
+  /// Re-queues a failed read on the next retry-ladder rung (re-senses
+  /// the array with decayed error rates and escalated latency).
+  void RetryRead(Op* op);
+  /// Correctable-threshold bookkeeping; may fire the refresh listener.
+  void NoteCorrectable(const flash::Ppa& ppa);
+  /// Scripted stuck-busy penalty for this op's LUN (0 when no injector).
+  SimTime StuckPenalty(const Op* op);
   void ProgramTransferPhase(Op* op);
   void ProgramArrayPhase(Op* op);
   void FinishProgram(Op* op);
@@ -205,10 +240,26 @@ class Controller {
   metrics::Id m_read_lat_ = metrics::kInvalidId;
   metrics::Id m_program_lat_ = metrics::kInvalidId;
   metrics::Id m_erase_lat_ = metrics::kInvalidId;
+  metrics::Id m_read_retries_ = metrics::kInvalidId;
+  metrics::Id m_blocks_retired_ = metrics::kInvalidId;
+  metrics::Id m_retry_lat_ = metrics::kInvalidId;
   std::vector<std::uint32_t> unit_tracks_;   // trace track per unit
+  std::uint32_t health_track_ = 0;           // retry/retirement events
   std::vector<trace::BusyClock> unit_gc_;    // GC occupancy per unit
   std::uint64_t gc_stall_read_ns_ = 0;       // unit-level only; accessor
   std::uint64_t gc_stall_write_ns_ = 0;      //   adds channel-level
+
+  // Reliability state. All of it is only touched on error paths (plus
+  // one pointer test per op), so clean runs stay schedule-identical.
+  flash::FaultInjector* injector_ = nullptr;  // == config_.fault_injector
+  RefreshListener refresh_;
+  std::vector<std::uint32_t> spares_;  // bad-block credits per global LUN
+  bool read_only_ = false;
+  std::uint64_t blocks_retired_ = 0;
+  std::uint64_t read_retries_ = 0;
+  // Correctable reads per physical block since its last erase; entries
+  // are dropped when the refresh fires (at most one per block).
+  std::unordered_map<std::uint64_t, std::uint32_t> correctable_counts_;
 
   std::vector<std::unique_ptr<Op>> ops_;  // owns every Op ever created
   std::vector<Op*> op_free_;              // recycled records

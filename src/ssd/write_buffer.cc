@@ -27,6 +27,7 @@ void WriteBuffer::SubmitWrite(Lba lba, std::uint64_t token,
     counters_.Increment("absorbed_overwrites");
     it->second.token = token;
     it->second.version = next_version_++;
+    it->second.retried = false;  // fresh data, fresh retry budget
     if (!it->second.queued) {
       it->second.queued = true;
       drain_fifo_.push_back(lba);
@@ -68,14 +69,33 @@ void WriteBuffer::PumpDrain() {
     counters_.Increment("drains");
     ftl_->Write(lba, token, [this, lba, version](Status st) {
       --inflight_drains_;
+      if (!st.ok()) counters_.Increment("drain_failures");
       auto it = entries_.find(lba);
       if (it != entries_.end() && it->second.version == version) {
-        // Not rewritten while draining: the buffered copy is durable.
-        entries_.erase(it);
+        if (st.ok()) {
+          // Not rewritten while draining: the buffered copy is durable.
+          entries_.erase(it);
+        } else if (!it->second.retried) {
+          // Keep the dirty data and try the flash once more (the FTL
+          // places retries on a fresh block, so a one-off media error
+          // is usually survivable).
+          it->second.retried = true;
+          it->second.draining = false;
+          it->second.queued = true;
+          drain_fifo_.push_back(lba);
+          counters_.Increment("drain_retries");
+        } else {
+          // Retry burned too: the page is lost. Surface the real
+          // status to flush waiters instead of a false Ok.
+          entries_.erase(it);
+          counters_.Increment("drain_drops");
+          if (drain_error_.ok()) drain_error_ = st;
+        }
       } else if (it != entries_.end()) {
+        // Rewritten while draining; the newer version will drain on its
+        // own and supersedes this copy, failed or not.
         it->second.draining = false;
       }
-      if (!st.ok()) counters_.Increment("drain_failures");
       // Freed space: admit a waiting insert.
       if (!space_waiters_.empty() && entries_.size() < config_.pages) {
         WaitingInsert w = std::move(space_waiters_.front());
@@ -102,7 +122,9 @@ void WriteBuffer::Drop(Lba lba) {
 
 void WriteBuffer::Flush(std::function<void(Status)> cb) {
   if (empty() && inflight_drains_ == 0) {
-    sim_->Schedule(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+    const Status st = drain_error_;
+    drain_error_ = Status::Ok();
+    sim_->Schedule(0, [cb = std::move(cb), st]() { cb(st); });
     return;
   }
   flush_waiters_.push_back(std::move(cb));
@@ -113,9 +135,11 @@ void WriteBuffer::CheckFlushWaiters() {
   if (!(empty() && inflight_drains_ == 0) || flush_waiters_.empty()) {
     return;
   }
+  const Status st = drain_error_;
+  drain_error_ = Status::Ok();
   auto waiters = std::move(flush_waiters_);
   flush_waiters_.clear();
-  for (auto& w : waiters) w(Status::Ok());
+  for (auto& w : waiters) w(st);
 }
 
 void WriteBuffer::DiscardAll() {
@@ -123,6 +147,7 @@ void WriteBuffer::DiscardAll() {
   drain_fifo_.clear();
   space_waiters_.clear();
   inflight_drains_ = 0;
+  drain_error_ = Status::Ok();
   counters_.Increment("discards");
 }
 

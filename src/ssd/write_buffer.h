@@ -65,6 +65,7 @@ class WriteBuffer {
     std::uint64_t version = 0;
     bool queued = false;    // in drain_fifo_
     bool draining = false;  // FTL write in flight
+    bool retried = false;   // one failed drain already burned the retry
   };
 
   void PumpDrain();
@@ -87,6 +88,9 @@ class WriteBuffer {
   };
   std::deque<WaitingInsert> space_waiters_;
   std::vector<std::function<void(Status)>> flush_waiters_;
+  /// First drain failure that cost data (retry exhausted): delivered to
+  /// the next flush batch instead of a false Ok, then cleared.
+  Status drain_error_ = Status::Ok();
 
   Counters counters_;
 };
