@@ -19,7 +19,14 @@
 #      rows must equal the stack's Counters;
 #   5. the reliability layer: an attached-but-silent fault injector must
 #      not perturb the simulated schedule (it consumes no Rng draws)
-#      and must cost <= 1% wall clock over the same workload.
+#      and must cost <= 1% wall clock over the same workload;
+#   6. the multi-queue host path: a default config must be
+#      schedule-identical to one with every mq knob spelled out at its
+#      neutral value, 1-queue sim-time IOPS must stay within +-2% of
+#      the committed baseline (bench/baselines/mq_baseline.json,
+#      first-run bootstrap), 4 queues must deliver >= 2x the 1-queue
+#      IOPS on the lock-bound workload, and the completion path must
+#      not allocate in steady state.
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -31,16 +38,19 @@ TOLERANCE=0.15
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
-  bench_metrics_overhead bench_reliability -j "$(nproc)" >/dev/null
+  bench_metrics_overhead bench_reliability bench_mq -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
 ( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
 ( cd "$BUILD_DIR" && ./bench/bench_metrics_overhead )
 ( cd "$BUILD_DIR" && ./bench/bench_reliability )
+( cd "$BUILD_DIR" && ./bench/bench_mq )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
 TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
 METRICS_RESULT="$BUILD_DIR/BENCH_metrics_overhead.json"
 RELIABILITY_RESULT="$BUILD_DIR/BENCH_reliability.json"
+MQ_RESULT="$BUILD_DIR/BENCH_mq.json"
+MQ_BASELINE="bench/baselines/mq_baseline.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -174,3 +184,58 @@ if failures:
 print(f"check_perf: OK (silent-injector overhead {ovh:.1%} <= 1%, "
       "schedule unperturbed)")
 EOF
+
+if [ ! -f "$MQ_BASELINE" ]; then
+  mkdir -p "$(dirname "$MQ_BASELINE")"
+  cp "$MQ_RESULT" "$MQ_BASELINE"
+  echo "check_perf: no mq baseline found; recorded $MQ_BASELINE from this run."
+else
+python3 - "$MQ_RESULT" "$MQ_BASELINE" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+failures = []
+
+# The mq machinery must be invisible when off: a default config and a
+# config with every knob spelled out at its neutral value must produce
+# bit-identical schedules (completion order, times, sim end).
+if not result.get("schedule_identical", False):
+    failures.append(
+        "default config and explicit-neutral mq config produced "
+        "different schedules (1-queue neutrality broken)")
+
+# 1-queue overhead gate: sim-time IOPS are deterministic, so the
+# tolerance is tight (2%). A drop means the default submit/complete
+# path picked up per-IO cost.
+base_iops = baseline.get("one_queue", {}).get("iops", 0.0)
+cur_iops = result.get("one_queue", {}).get("iops", 0.0)
+if base_iops > 0 and cur_iops < base_iops * 0.98:
+    failures.append(
+        f"1-queue IOPS {cur_iops:.0f} is more than 2% below baseline "
+        f"{base_iops:.0f} (default-path overhead regression)")
+
+# The tentpole claim: splitting the submission lock scales.
+speedup = result.get("scaling", {}).get("speedup_4q", 0.0)
+if speedup < 2.0:
+    failures.append(
+        f"4-queue speedup {speedup:.2f}x < required 2.0x over 1 queue "
+        "on the lock-bound workload")
+
+allocs = result.get("allocs", {}).get("chunk_allocs_per_io", 1.0)
+if allocs >= 0.01:
+    failures.append(
+        f"completion-path slab allocs/IO {allocs} not ~0 "
+        "(steady state must recycle boxed callbacks)")
+
+if failures:
+    print("check_perf: FAIL (multi-queue host path)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"check_perf: OK (mq: schedule identical, 1-queue IOPS "
+      f"{cur_iops:.0f} within 2% of baseline, 4-queue speedup "
+      f"{speedup:.2f}x >= 2x, allocs/IO ~0)")
+EOF
+fi

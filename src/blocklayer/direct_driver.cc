@@ -53,7 +53,8 @@ void DirectDriver::SubmitAttempt(IoRequest request, SimTime start,
     }
     if (!result.status.ok()) counters_.Increment("io_errors");
     cpu_res_.UseFor(cpu_.polled_ns,
-                    [this, start, epoch, user_cb, result]() {
+                    [this, start, epoch, user_cb = std::move(user_cb),
+                     result]() {
                       if (epoch != epoch_) return;
                       latency_.Record(sim_->Now() - start);
                       counters_.Increment("completed");
@@ -65,6 +66,34 @@ void DirectDriver::SubmitAttempt(IoRequest request, SimTime start,
                     if (epoch != epoch_) return;
                     lower_->Submit(std::move(request));
                   });
+}
+
+void DirectDriver::Execute(host::Command cmd) {
+  if (host::IsBlockExpressible(cmd.kind)) {
+    Submit(host::LowerToIoRequest(std::move(cmd)));
+    return;
+  }
+  if (cmd.kind == host::CommandKind::kHint) {
+    counters_.Increment("hints");
+    if (cmd.on_complete) cmd.on_complete(IoResult{Status::Ok(), {}});
+    return;
+  }
+  if (lower_->Supports(cmd.kind)) {
+    counters_.Increment("passthrough_cmds");
+    lower_->Execute(std::move(cmd));
+    return;
+  }
+  if (cmd.on_complete) {
+    cmd.on_complete(IoResult{
+        Status::Unimplemented("command not supported below driver"), {}});
+  }
+}
+
+bool DirectDriver::Supports(host::CommandKind kind) const {
+  if (host::IsBlockExpressible(kind) || kind == host::CommandKind::kHint) {
+    return true;
+  }
+  return lower_->Supports(kind);
 }
 
 void DirectDriver::RegisterMetrics(metrics::MetricRegistry* m) {

@@ -32,6 +32,13 @@ class DirectDriver : public BlockDevice {
   void Submit(IoRequest request) override;
   const Counters& counters() const override { return counters_; }
 
+  /// Typed commands: block-expressible kinds pay the driver's thin
+  /// submit/poll costs; extended kinds (atomic groups, nameless writes)
+  /// pass straight through to the device when it supports them — the
+  /// direct path exists precisely to not stand between host and device.
+  void Execute(host::Command cmd) override;
+  bool Supports(host::CommandKind kind) const override;
+
   const Histogram& latency() const { return latency_; }
   double CpuUtilization() const { return cpu_res_.Utilization(); }
 

@@ -4,60 +4,76 @@
 
 namespace postblock::blocklayer {
 
+IoScheduler::IoScheduler(IoSchedulerConfig config) : config_(config) {}
+
 IoScheduler::IoScheduler(SchedulerKind kind,
                          std::uint32_t max_merged_blocks)
-    : kind_(kind), max_merged_blocks_(max_merged_blocks) {}
+    : IoScheduler(IoSchedulerConfig{kind, max_merged_blocks}) {}
+
+bool IoScheduler::TryMerge(IoRequest& request) {
+  if (config_.kind != SchedulerKind::kMerge || queue_.empty()) return false;
+  if (request.op != IoOp::kRead && request.op != IoOp::kWrite) return false;
+  std::uint32_t scanned = 0;
+  for (auto it = queue_.rbegin();
+       it != queue_.rend() && scanned < config_.merge_window;
+       ++it, ++scanned) {
+    IoRequest& tail = *it;
+    if (tail.op != request.op) continue;
+    if (!config_.cross_stream_merge && tail.stream != request.stream) {
+      counters_.Increment("merge_stream_rejects");
+      continue;
+    }
+    if (tail.lba + tail.nblocks != request.lba) continue;
+    if (tail.nblocks + request.nblocks > config_.max_merged_blocks) continue;
+    counters_.Increment("back_merges");
+    if (tracer_ != nullptr && tracer_->enabled() && sim_ != nullptr) {
+      tracer_->Mark(trace::Stage::kSchedule, OriginOf(request.op),
+                    request.span, track_, sim_->Now(), request.lba);
+    }
+    tail.nblocks += request.nblocks;
+    for (auto t : request.tokens) tail.tokens.push_back(t);
+    // Chain the completions: both submitters hear about the merged IO.
+    IoCallback prev = std::move(tail.on_complete);
+    IoCallback next = std::move(request.on_complete);
+    // The merged IO keeps the head's completion-routing identity.
+    const std::uint16_t queue_id = prev.queue_id;
+    const std::uint16_t merged_tag = prev.tag;
+    const std::uint32_t head_blocks = tail.nblocks - request.nblocks;
+    tail.on_complete = [prev = std::move(prev), next = std::move(next),
+                        head_blocks](const IoResult& result) {
+      if (prev) {
+        IoResult head = result;
+        if (head.tokens.size() > head_blocks) {
+          head.tokens.resize(head_blocks);
+        }
+        prev(head);
+      }
+      if (next) {
+        IoResult rest;
+        rest.status = result.status;
+        if (result.tokens.size() > head_blocks) {
+          rest.tokens.assign(result.tokens.begin() + head_blocks,
+                             result.tokens.end());
+        }
+        next(rest);
+      }
+    };
+    tail.on_complete.queue_id = queue_id;
+    tail.on_complete.tag = merged_tag;
+    return true;
+  }
+  return false;
+}
 
 void IoScheduler::Enqueue(IoRequest request) {
   counters_.Increment("enqueued");
-  if (kind_ == SchedulerKind::kMerge && !queue_.empty() &&
-      (request.op == IoOp::kRead || request.op == IoOp::kWrite)) {
-    IoRequest& tail = queue_.back();
-    const bool contiguous =
-        tail.op == request.op &&
-        tail.lba + tail.nblocks == request.lba &&
-        tail.nblocks + request.nblocks <= max_merged_blocks_;
-    if (contiguous) {
-      counters_.Increment("back_merges");
-      if (tracer_ != nullptr && tracer_->enabled() && sim_ != nullptr) {
-        tracer_->Mark(trace::Stage::kSchedule, OriginOf(request.op),
-                      request.span, track_, sim_->Now(), request.lba);
-      }
-      tail.nblocks += request.nblocks;
-      for (auto t : request.tokens) tail.tokens.push_back(t);
-      // Chain the completions: both submitters hear about the merged IO.
-      IoCallback prev = std::move(tail.on_complete);
-      IoCallback next = std::move(request.on_complete);
-      const std::uint32_t head_blocks =
-          tail.nblocks - request.nblocks;
-      tail.on_complete = [prev = std::move(prev), next = std::move(next),
-                          head_blocks](const IoResult& result) {
-        if (prev) {
-          IoResult head = result;
-          if (head.tokens.size() > head_blocks) {
-            head.tokens.resize(head_blocks);
-          }
-          prev(head);
-        }
-        if (next) {
-          IoResult rest;
-          rest.status = result.status;
-          if (result.tokens.size() > head_blocks) {
-            rest.tokens.assign(result.tokens.begin() + head_blocks,
-                               result.tokens.end());
-          }
-          next(rest);
-        }
-      };
-      return;
-    }
-  }
+  if (TryMerge(request)) return;
   queue_.push_back(std::move(request));
 }
 
 IoRequest IoScheduler::Dequeue() {
   auto it = queue_.begin();
-  if (kind_ == SchedulerKind::kPriority) {
+  if (config_.kind == SchedulerKind::kPriority) {
     for (auto cand = queue_.begin(); cand != queue_.end(); ++cand) {
       if (cand->priority > it->priority) it = cand;  // FIFO within class
     }

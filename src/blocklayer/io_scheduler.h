@@ -21,13 +21,32 @@ enum class SchedulerKind {
 
 const char* SchedulerKindName(SchedulerKind kind);
 
+/// Per-queue scheduling policy knobs.
+struct IoSchedulerConfig {
+  SchedulerKind kind = SchedulerKind::kNoop;
+  /// Cap on a merged request's total span.
+  std::uint32_t max_merged_blocks = 128;
+  /// How many queued requests (from the tail) a new request may merge
+  /// into. 1 = the classic tail-only back-merge. A wider window lets a
+  /// request coalesce past unrelated interleaved traffic.
+  std::uint32_t merge_window = 1;
+  /// Whether requests from different streams may merge. Off by default:
+  /// two interleaved streams that happen to abut in LBA space are
+  /// distinct IOs with distinct fates (QoS, completion attribution),
+  /// not one.
+  bool cross_stream_merge = false;
+};
+
 /// A single software request queue. Requests enter via Enqueue and leave
 /// via Dequeue in dispatch order; the merge scheduler coalesces a newly
-/// enqueued request into the queue tail when it extends it contiguously
+/// enqueued request into a queued request that it extends contiguously
 /// (the classic elevator back-merge, minus disk-oriented sorting — the
-/// paper notes sorting lost its purpose on SSDs).
+/// paper notes sorting lost its purpose on SSDs). The merge window is
+/// explicit per queue (IoSchedulerConfig::merge_window) and merging
+/// never crosses stream boundaries unless configured to.
 class IoScheduler {
  public:
+  explicit IoScheduler(IoSchedulerConfig config);
   explicit IoScheduler(SchedulerKind kind,
                        std::uint32_t max_merged_blocks = 128);
 
@@ -42,6 +61,7 @@ class IoScheduler {
   IoRequest Dequeue();
 
   const Counters& counters() const { return counters_; }
+  const IoSchedulerConfig& config() const { return config_; }
 
   /// Back-merges become zero-duration markers on `track` (arg = merged
   /// request's LBA, span = the absorbed request's span), so a trace
@@ -54,8 +74,11 @@ class IoScheduler {
   }
 
  private:
-  SchedulerKind kind_;
-  std::uint32_t max_merged_blocks_;
+  /// Attempts a back-merge of `request` into a request within the merge
+  /// window. Returns true when absorbed.
+  bool TryMerge(IoRequest& request);
+
+  IoSchedulerConfig config_;
   std::deque<IoRequest> queue_;
   Counters counters_;
   trace::Tracer* tracer_ = nullptr;

@@ -1,12 +1,17 @@
 #ifndef POSTBLOCK_BLOCKLAYER_REQUEST_H_
 #define POSTBLOCK_BLOCKLAYER_REQUEST_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "sim/inplace_callback.h"
 #include "trace/trace.h"
 
 namespace postblock::blocklayer {
@@ -31,7 +36,165 @@ struct IoResult {
   std::vector<std::uint64_t> tokens;
 };
 
-using IoCallback = std::function<void(const IoResult&)>;
+/// Move-only completion callable for one IO, replacing the old
+/// `std::function<void(const IoResult&)>`:
+///
+///   - captures up to kInlineBytes live inside the object (no heap
+///     allocation per IO on the hot path); larger captures are boxed in
+///     a recycled sim::CallbackSlab chunk, so even the fallback is
+///     allocation-free in steady state;
+///   - it carries the multi-queue completion-routing context — which
+///     software queue the IO belongs to (`queue_id`) and its inflight
+///     tag (`tag`) — so lower layers (the SSD's completion path) can
+///     attribute a completion to its queue without a map lookup. Both
+///     default to "none" for IOs submitted outside the mq block layer.
+///
+/// Like std::function, operator() is const-callable and the target may
+/// be invoked more than once (the merge scheduler fans one device
+/// completion out to every absorbed request's callback).
+class IoCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+  static constexpr std::uint16_t kNoQueue = 0xffff;
+  static constexpr std::uint16_t kNoTag = 0xffff;
+
+  template <typename F>
+  static constexpr bool fits() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t);
+  }
+
+  IoCallback() = default;
+  IoCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, IoCallback> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&,
+                                      const IoResult&>>>
+  IoCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      void* p = sim::CallbackSlab::Allocate(sizeof(D));
+      ::new (p) D(std::forward<F>(f));
+      ::new (static_cast<void*>(buf_)) void*(p);
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  IoCallback(IoCallback&& other) noexcept
+      : queue_id(other.queue_id), tag(other.tag), ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      Relocate(other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  IoCallback& operator=(IoCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      queue_id = other.queue_id;
+      tag = other.tag;
+      if (ops_ != nullptr) {
+        Relocate(other);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  IoCallback& operator=(std::nullptr_t) {
+    Reset();
+    queue_id = kNoQueue;
+    tag = kNoTag;
+    return *this;
+  }
+
+  IoCallback(const IoCallback&) = delete;
+  IoCallback& operator=(const IoCallback&) = delete;
+
+  ~IoCallback() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (no slab chunk).
+  bool stored_inline() const { return ops_ != nullptr && ops_->is_inline; }
+
+  void operator()(const IoResult& result) const {
+    ops_->invoke(const_cast<unsigned char*>(buf_), result);
+  }
+
+  /// Multi-queue completion-routing context, carried with the callback
+  /// down the device stack. kNoQueue/kNoTag when the IO was not
+  /// submitted through a multi-queue host path.
+  std::uint16_t queue_id = kNoQueue;
+  std::uint16_t tag = kNoTag;
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self, const IoResult& result);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void* self);
+    bool is_inline;
+    bool trivial_relocate;
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void Relocate(IoCallback& other) {
+    if (ops_->trivial_relocate) {
+      std::memcpy(buf_, other.buf_, kInlineBytes);
+    } else {
+      ops_->relocate(buf_, other.buf_);
+    }
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* self, const IoResult& result) {
+        (*std::launder(reinterpret_cast<D*>(self)))(result);
+      },
+      [](void* dst, void* src) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* self) { std::launder(reinterpret_cast<D*>(self))->~D(); },
+      /*is_inline=*/true,
+      /*trivial_relocate=*/std::is_trivially_copyable_v<D>,
+  };
+
+  template <typename D>
+  static constexpr Ops kBoxedOps = {
+      [](void* self, const IoResult& result) {
+        (**std::launder(reinterpret_cast<D**>(self)))(result);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) void*(*std::launder(reinterpret_cast<void**>(src)));
+      },
+      [](void* self) {
+        D* p = *std::launder(reinterpret_cast<D**>(self));
+        p->~D();
+        sim::CallbackSlab::Deallocate(p, sizeof(D));
+      },
+      /*is_inline=*/false,
+      /*trivial_relocate=*/true,
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes] = {};
+};
 
 /// Bounded EIO retry for reads, mirroring the kernel's per-bio retry
 /// count: a read completing with DataLoss (uncorrectable media even
@@ -45,7 +208,9 @@ struct IoRetryPolicy {
   SimTime backoff_ns = 2000;
 };
 
-/// One asynchronous block IO.
+/// One asynchronous block IO. Move-only (the completion callable owns
+/// inline state); accidental copies on the submit path are compile
+/// errors.
 struct IoRequest {
   IoOp op = IoOp::kRead;
   Lba lba = 0;
@@ -57,6 +222,12 @@ struct IoRequest {
   /// [13] (Hall & Bonnet): commit-critical log writes must not queue
   /// behind lazy page flushes.
   std::uint8_t priority = 0;
+  /// Submission stream/context id. 0 = unclassified. The multi-queue
+  /// block layer can pin a stream to its own software queue
+  /// (BlockLayerConfig::stream_queues), and the merge scheduler never
+  /// coalesces requests from different streams — interleaved streams
+  /// that happen to abut in LBA space are distinct IOs, not one.
+  std::uint8_t stream = 0;
   IoCallback on_complete;
   /// Trace identity. 0 = untraced; the topmost layer that sees 0 with an
   /// enabled tracer mints the root span, lower layers inherit it, so a

@@ -70,6 +70,7 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
   // Commit-critical: jumps lazy page flushes under a priority scheduler
   // (ref [13]).
   write.priority = 1;
+  write.stream = wal_stream_;
   write.span = span;
   auto record_ptr =
       std::make_shared<std::vector<std::uint8_t>>(std::move(record));
@@ -84,6 +85,7 @@ void HybridStore::SyncPersist(std::vector<std::uint8_t> record,
     blocklayer::IoRequest flush;
     flush.op = blocklayer::IoOp::kFlush;
     flush.nblocks = 1;
+    flush.stream = wal_stream_;
     flush.span = span;
     flush.on_complete = [this, start, span, lba, token, record_ptr,
                          cb = std::move(cb)](
@@ -172,7 +174,18 @@ void HybridStore::TruncateLog(std::function<void(Status)> cb) {
 
 void HybridStore::SubmitAsync(blocklayer::IoRequest request) {
   counters_.Increment("async_requests");
+  if (request.stream == 0) request.stream = async_stream_;
   data_path_->Submit(std::move(request));
+}
+
+void HybridStore::Execute(host::Command cmd) {
+  if (host::IsBlockExpressible(cmd.kind)) {
+    if (cmd.stream == 0) cmd.stream = async_stream_;
+    SubmitAsync(host::LowerToIoRequest(std::move(cmd)));
+    return;
+  }
+  // Hints and extended kinds are the data path's business.
+  data_path_->Execute(std::move(cmd));
 }
 
 }  // namespace postblock::core

@@ -27,7 +27,13 @@ namespace postblock::core {
 ///     whole block because the interface has no smaller unit.
 ///   - SubmitAsync(request): lazy writes, prefetching, reads — always
 ///     the block-granular device path.
-class HybridStore {
+///
+/// The async class is a host::HostInterface: typed commands flow to the
+/// data path with the store's stream classification applied, so a
+/// multi-queue block layer with stream_queues pins commit-critical WAL
+/// traffic (wal_stream) and lazy traffic (async_stream) to different
+/// software queues.
+class HybridStore : public host::HostInterface {
  public:
   /// Vision wiring: sync -> PCM log, async -> `data_path`.
   HybridStore(sim::Simulator* sim, blocklayer::BlockDevice* data_path,
@@ -56,8 +62,25 @@ class HybridStore {
   /// span down the block stack.
   void set_tracer(trace::Tracer* tracer);
 
-  /// Forwards to the data path.
+  /// Forwards to the data path (applying async_stream when the request
+  /// is unclassified).
   void SubmitAsync(blocklayer::IoRequest request);
+
+  /// host::HostInterface — block-expressible commands take the async
+  /// path (with stream classification); hints and extended kinds pass
+  /// through to the data path.
+  void Execute(host::Command cmd) override;
+  bool Supports(host::CommandKind kind) const override {
+    return data_path_->Supports(kind);
+  }
+
+  /// Stream classification for queue pinning: classic-mode SyncPersist
+  /// log write+flush carry `wal_stream`; unclassified async requests
+  /// carry `async_stream`. Both default to 0 (off — no pinning).
+  void set_streams(std::uint8_t wal_stream, std::uint8_t async_stream) {
+    wal_stream_ = wal_stream;
+    async_stream_ = async_stream;
+  }
 
   /// All records whose SyncPersist completed (i.e. that would survive a
   /// crash), in persist order. Vision mode scans the PCM log region;
@@ -88,6 +111,10 @@ class HybridStore {
   sim::Simulator* sim_;
   blocklayer::BlockDevice* data_path_;
   PcmLog* pcm_log_ = nullptr;
+
+  // Stream classification (0 = unclassified, no queue pinning).
+  std::uint8_t wal_stream_ = 0;
+  std::uint8_t async_stream_ = 0;
 
   // Classic-mode log region state.
   Lba log_region_start_ = 0;

@@ -1,0 +1,249 @@
+#ifndef POSTBLOCK_HOST_COMMAND_H_
+#define POSTBLOCK_HOST_COMMAND_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "blocklayer/request.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "trace/trace.h"
+
+namespace postblock::host {
+
+/// The unified typed host command set — one tagged union over every way
+/// a host talks to storage in this repo, replacing the three divergent
+/// submit entry points (BlockLayer::Submit, DirectDriver::Submit,
+/// HybridStore::SubmitAsync) with a single `Execute(Command)` on a
+/// common `HostInterface`.
+///
+/// The first four kinds are the legacy block interface; the rest are
+/// the paper's Section 4 "new interfaces" — commands a block device
+/// cannot express, which is exactly why capability discovery
+/// (`HostInterface::Supports`) is part of the API: a host must be able
+/// to ask what the device underneath actually speaks.
+enum class CommandKind : std::uint8_t {
+  kRead = 0,
+  kWrite,
+  kTrim,
+  kFlush,
+  /// Multi-extent atomic write group (Ouyang et al. [17]): all extents
+  /// become durable together or none survive recovery.
+  kAtomicGroup,
+  /// Nameless write (de Jonge / Arpaci-Dusseau): the host supplies data
+  /// without naming an address; the device picks the location and
+  /// returns its name in IoResult::tokens[0].
+  kNamelessWrite,
+  /// Advisory access hint; never fails, may be ignored.
+  kHint,
+};
+
+constexpr std::size_t kNumCommandKinds = 7;
+
+inline const char* CommandKindName(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kRead:
+      return "read";
+    case CommandKind::kWrite:
+      return "write";
+    case CommandKind::kTrim:
+      return "trim";
+    case CommandKind::kFlush:
+      return "flush";
+    case CommandKind::kAtomicGroup:
+      return "atomic-group";
+    case CommandKind::kNamelessWrite:
+      return "nameless-write";
+    case CommandKind::kHint:
+      return "hint";
+  }
+  return "?";
+}
+
+/// Advisory hints (kHint). Modeled on posix_fadvise plus the
+/// stream-separation idea the multi-queue path uses.
+enum class HintKind : std::uint8_t {
+  kSequential = 0,  // upcoming access is sequential
+  kRandom,          // upcoming access is random
+  kWillNeed,        // data will be read soon
+  kDontNeed,        // data will not be reused
+  kStreamOpen,      // `stream` begins a new write stream
+  kStreamClose,     // `stream` ends
+};
+
+/// One typed host command. Field use by kind:
+///   kRead            lba, nblocks
+///   kWrite           lba, nblocks, tokens (one per block)
+///   kTrim            lba, nblocks
+///   kFlush           —
+///   kAtomicGroup     group (extent = (lba, token))
+///   kNamelessWrite   tokens[0] = payload; completion tokens[0] = name
+///   kHint            hint, optionally lba/nblocks/stream as its scope
+/// `priority` and `stream` classify the command for scheduling on every
+/// path; `on_complete` always fires exactly once.
+struct Command {
+  CommandKind kind = CommandKind::kRead;
+  Lba lba = 0;
+  std::uint32_t nblocks = 1;
+  std::vector<std::uint64_t> tokens;
+  std::uint8_t priority = 0;
+  std::uint8_t stream = 0;
+  /// kAtomicGroup extents.
+  std::vector<std::pair<Lba, std::uint64_t>> group;
+  /// kHint payload.
+  HintKind hint = HintKind::kSequential;
+  blocklayer::IoCallback on_complete;
+  trace::SpanId span = 0;
+
+  // ---- factories ---------------------------------------------------
+  static Command Read(Lba lba, std::uint32_t nblocks,
+                      blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kRead;
+    c.lba = lba;
+    c.nblocks = nblocks;
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command Write(Lba lba, std::vector<std::uint64_t> tokens,
+                       blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kWrite;
+    c.lba = lba;
+    c.nblocks = static_cast<std::uint32_t>(tokens.size());
+    c.tokens = std::move(tokens);
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command Trim(Lba lba, std::uint32_t nblocks,
+                      blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kTrim;
+    c.lba = lba;
+    c.nblocks = nblocks;
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command Flush(blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kFlush;
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command AtomicGroup(
+      std::vector<std::pair<Lba, std::uint64_t>> extents,
+      blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kAtomicGroup;
+    c.group = std::move(extents);
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command NamelessWrite(std::uint64_t token,
+                               blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kNamelessWrite;
+    c.tokens = {token};
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command Hint(HintKind hint, blocklayer::IoCallback cb = {}) {
+    Command c;
+    c.kind = CommandKind::kHint;
+    c.hint = hint;
+    c.on_complete = std::move(cb);
+    return c;
+  }
+};
+
+/// The unified host-facing interface: typed commands plus capability
+/// discovery. Every stackable layer in the repo (the SSD device, the
+/// block layer, the direct driver, the HDD, simple devices, and
+/// core::HybridStore's async class) implements it, so a host program
+/// is written once against `Execute`/`Supports` and wired over any
+/// stack.
+///
+/// Contract: `Execute` must complete `cmd.on_complete` exactly once (in
+/// simulated time for accepted commands; a command whose kind the layer
+/// does not support completes inline with Unimplemented — callers that
+/// care should check `Supports` first, which is the point of capability
+/// discovery).
+class HostInterface {
+ public:
+  virtual ~HostInterface() = default;
+
+  /// Can this stack execute `kind`? Stacked layers forward the question
+  /// to the layer below for kinds they merely pass through.
+  virtual bool Supports(CommandKind kind) const {
+    switch (kind) {
+      case CommandKind::kRead:
+      case CommandKind::kWrite:
+      case CommandKind::kTrim:
+      case CommandKind::kFlush:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Executes one typed command.
+  virtual void Execute(Command cmd) = 0;
+
+  /// Capability bitmask (bit = static_cast<int>(CommandKind)).
+  std::uint32_t CapabilityMask() const {
+    std::uint32_t mask = 0;
+    for (std::size_t k = 0; k < kNumCommandKinds; ++k) {
+      if (Supports(static_cast<CommandKind>(k))) mask |= 1u << k;
+    }
+    return mask;
+  }
+};
+
+/// Lowers a basic (block-expressible) command to an IoRequest. Only
+/// valid for kRead/kWrite/kTrim/kFlush.
+inline blocklayer::IoRequest LowerToIoRequest(Command cmd) {
+  blocklayer::IoRequest r;
+  switch (cmd.kind) {
+    case CommandKind::kRead:
+      r.op = blocklayer::IoOp::kRead;
+      break;
+    case CommandKind::kWrite:
+      r.op = blocklayer::IoOp::kWrite;
+      break;
+    case CommandKind::kTrim:
+      r.op = blocklayer::IoOp::kTrim;
+      break;
+    case CommandKind::kFlush:
+      r.op = blocklayer::IoOp::kFlush;
+      break;
+    default:
+      r.op = blocklayer::IoOp::kRead;  // unreachable by contract
+      break;
+  }
+  r.lba = cmd.lba;
+  r.nblocks = cmd.nblocks;
+  r.tokens = std::move(cmd.tokens);
+  r.priority = cmd.priority;
+  r.stream = cmd.stream;
+  r.span = cmd.span;
+  r.on_complete = std::move(cmd.on_complete);
+  return r;
+}
+
+/// True for the four kinds the legacy block interface can express.
+inline bool IsBlockExpressible(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kRead:
+    case CommandKind::kWrite:
+    case CommandKind::kTrim:
+    case CommandKind::kFlush:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace postblock::host
+
+#endif  // POSTBLOCK_HOST_COMMAND_H_

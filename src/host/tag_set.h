@@ -1,0 +1,74 @@
+#ifndef POSTBLOCK_HOST_TAG_SET_H_
+#define POSTBLOCK_HOST_TAG_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace postblock::host {
+
+/// Fixed-size tag allocator for inflight IO state — the blk-mq
+/// `blk_mq_tags` idea: a submission queue owns `capacity` tags; an IO
+/// holds one tag from submit to completion, and the tag doubles as the
+/// index of its per-IO state record, so inflight lookup is an array
+/// index instead of a pooled pointer search.
+///
+/// Tags are recycled LIFO (deterministic, cache-warm). `Acquire` on an
+/// exhausted set returns kNoTag — the caller's backpressure point (the
+/// host cannot post to a full SQ).
+///
+/// When constructed with capacity 0 the set is *elastic*: Acquire never
+/// fails and the tag space grows on demand — the pre-multi-queue
+/// pooled-state behaviour, kept as the default so existing
+/// configurations see no new failure mode.
+class TagSet {
+ public:
+  static constexpr std::uint32_t kNoTag = ~0u;
+
+  explicit TagSet(std::uint32_t capacity = 0) : capacity_(capacity) {
+    if (capacity_ > 0) {
+      free_.reserve(capacity_);
+      // Reversed so tags grant in ascending order 0,1,2,... (matches
+      // the elastic set's growth order; keeps schedules comparable).
+      for (std::uint32_t t = capacity_; t > 0; --t) free_.push_back(t - 1);
+    }
+  }
+
+  /// Returns a free tag, or kNoTag when a fixed-size set is exhausted.
+  std::uint32_t Acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t t = free_.back();
+      free_.pop_back();
+      ++in_use_;
+      return t;
+    }
+    if (capacity_ > 0) return kNoTag;  // fixed set: backpressure
+    ++in_use_;
+    return next_elastic_++;
+  }
+
+  void Release(std::uint32_t tag) {
+    free_.push_back(tag);
+    --in_use_;
+  }
+
+  /// 0 = elastic (unbounded).
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint32_t in_use() const { return in_use_; }
+  bool exhausted() const {
+    return capacity_ > 0 && in_use_ >= capacity_;
+  }
+  /// Highest tag ever granted + 1 (the size the state array must have).
+  std::uint32_t high_water() const {
+    return capacity_ > 0 ? capacity_ : next_elastic_;
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::uint32_t in_use_ = 0;
+  std::uint32_t next_elastic_ = 0;  // elastic mode: next never-used tag
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace postblock::host
+
+#endif  // POSTBLOCK_HOST_TAG_SET_H_

@@ -138,6 +138,14 @@ struct Config {
   /// Fixed controller firmware overhead added to every host-visible op.
   SimTime controller_overhead_ns = 2 * kMicrosecond;
 
+  /// Per-command admission cost on the batched doorbell path
+  /// (BlockDevice::SubmitBatch): the i-th command of one doorbell ring
+  /// is admitted at controller_overhead_ns + i * doorbell_cmd_ns. The
+  /// firmware fetches SQ entries sequentially, but the fixed
+  /// per-doorbell overhead is paid once for the whole batch — that
+  /// amortization is what makes batching pay.
+  SimTime doorbell_cmd_ns = 200;
+
   /// Cross-layer tracer shared by every layer of this device (not
   /// owned; may be null). Attaching a tracer wires span propagation and
   /// the GC-stall attribution counters through the whole stack; stage

@@ -58,6 +58,23 @@ Device::Device(sim::Simulator* sim, const Config& config)
 }
 
 void Device::Submit(blocklayer::IoRequest request) {
+  Admit(std::move(request), 0);
+}
+
+void Device::SubmitBatch(std::vector<blocklayer::IoRequest> batch) {
+  // One doorbell ring: the firmware fetches the batch's SQ entries in
+  // order, so the i-th command's admission is offset by i fetch costs —
+  // but the fixed controller overhead is paid once for the whole ring.
+  counters_.Increment("doorbell_rings");
+  counters_.Add("doorbell_cmds", batch.size());
+  SimTime offset = 0;
+  for (blocklayer::IoRequest& r : batch) {
+    Admit(std::move(r), offset);
+    offset += config_.doorbell_cmd_ns;
+  }
+}
+
+void Device::Admit(blocklayer::IoRequest request, SimTime admit_delay) {
   counters_.Increment("requests");
   if (metrics_ != nullptr) metrics_->Increment(m_requests_);
   counters_.Increment(std::string("requests_") +
@@ -88,6 +105,7 @@ void Device::Submit(blocklayer::IoRequest request) {
   // track either way.
   bool root = false;
   const SimTime submit_t = sim_->Now();
+  const SimTime admit_cost = config_.controller_overhead_ns + admit_delay;
   if (Traced()) {
     if (request.span == 0) {
       request.span = tracer_->NewSpan();
@@ -95,14 +113,14 @@ void Device::Submit(blocklayer::IoRequest request) {
     }
     tracer_->Record(trace::Stage::kSchedule, blocklayer::OriginOf(request.op),
                     request.span, 0, dev_track_, submit_t,
-                    submit_t + config_.controller_overhead_ns, request.lba);
+                    submit_t + admit_cost, request.lba);
   }
 
   // Firmware admission cost, then fan out page ops. Requests still in
   // admission when power is cut are dropped whole.
   auto req = std::make_shared<blocklayer::IoRequest>(std::move(request));
   const std::uint64_t epoch = epoch_;
-  sim_->Schedule(config_.controller_overhead_ns,
+  sim_->Schedule(admit_cost,
                  [this, epoch, root, submit_t, req = std::move(req)]() {
                    if (epoch != epoch_) return;
                    SubmitPageOps(req, root, submit_t);
@@ -149,6 +167,13 @@ void Device::SubmitPageOps(
     }
     counters_.Increment("completions");
     if (metrics_ != nullptr) metrics_->Increment(m_completions_);
+    // Completion routing: a multi-queue submitter stamps its software
+    // queue id on the callback; attribute the CQ post to that queue.
+    const std::uint16_t qid = request.on_complete.queue_id;
+    if (qid != blocklayer::IoCallback::kNoQueue) {
+      if (cq_posts_.size() <= qid) cq_posts_.resize(qid + 1, 0);
+      ++cq_posts_[qid];
+    }
     if (root && tracer_ != nullptr) {
       tracer_->Record(trace::Stage::kIo,
                       blocklayer::OriginOf(request.op), request.span, 0,
@@ -249,6 +274,115 @@ void Device::SubmitPageOps(
       break;
     }
   }
+}
+
+bool Device::Supports(host::CommandKind kind) const {
+  switch (kind) {
+    case host::CommandKind::kRead:
+    case host::CommandKind::kWrite:
+    case host::CommandKind::kTrim:
+    case host::CommandKind::kFlush:
+    case host::CommandKind::kHint:
+      return true;
+    case host::CommandKind::kAtomicGroup:
+    case host::CommandKind::kNamelessWrite:
+      // Extended vision commands need the page-mapping FTL.
+      return page_ftl_ != nullptr;
+  }
+  return false;
+}
+
+void Device::Execute(host::Command cmd) {
+  switch (cmd.kind) {
+    case host::CommandKind::kAtomicGroup:
+      ExecuteAtomicGroup(std::move(cmd));
+      return;
+    case host::CommandKind::kNamelessWrite:
+      ExecuteNamelessWrite(std::move(cmd));
+      return;
+    case host::CommandKind::kHint:
+      counters_.Increment("hints");
+      if (cmd.on_complete) {
+        cmd.on_complete(blocklayer::IoResult{Status::Ok(), {}});
+      }
+      return;
+    default:
+      // Block-expressible kinds lower onto Submit via the base class.
+      blocklayer::BlockDevice::Execute(std::move(cmd));
+      return;
+  }
+}
+
+void Device::ExecuteAtomicGroup(host::Command cmd) {
+  if (page_ftl_ == nullptr) {
+    if (cmd.on_complete) {
+      cmd.on_complete(blocklayer::IoResult{
+          Status::Unimplemented(
+              "atomic groups require the page-mapping FTL"),
+          {}});
+    }
+    return;
+  }
+  counters_.Increment("atomic_groups");
+  // The FTL callback is a copyable std::function; box the move-only
+  // completion so the bridge stays copyable.
+  auto done = std::make_shared<blocklayer::IoCallback>(
+      std::move(cmd.on_complete));
+  page_ftl_->WriteAtomic(
+      std::move(cmd.group),
+      [done](Status st) {
+        if (*done) (*done)(blocklayer::IoResult{std::move(st), {}});
+      },
+      trace::Ctx{cmd.span, 0, trace::Origin::kHostWrite});
+}
+
+void Device::ExecuteNamelessWrite(host::Command cmd) {
+  if (page_ftl_ == nullptr) {
+    if (cmd.on_complete) {
+      cmd.on_complete(blocklayer::IoResult{
+          Status::Unimplemented(
+              "nameless writes require the page-mapping FTL"),
+          {}});
+    }
+    return;
+  }
+  // Pick a device-side slot for the unnamed page: recycled first,
+  // lowest never-used otherwise. The returned name (tokens[0]) is the
+  // flattened physical address at write time.
+  Lba lba;
+  if (!nameless_free_.empty()) {
+    lba = nameless_free_.front();
+    nameless_free_.pop_front();
+  } else if (nameless_next_ < num_blocks()) {
+    lba = nameless_next_++;
+  } else {
+    if (cmd.on_complete) {
+      cmd.on_complete(blocklayer::IoResult{
+          Status::ResourceExhausted("no nameless slots left"), {}});
+    }
+    return;
+  }
+  counters_.Increment("nameless_writes");
+  const std::uint64_t token = cmd.tokens.empty() ? 0 : cmd.tokens[0];
+  auto done = std::make_shared<blocklayer::IoCallback>(
+      std::move(cmd.on_complete));
+  page_ftl_->Write(
+      lba, token,
+      [this, done, lba](Status st) {
+        if (!st.ok()) {
+          nameless_free_.push_back(lba);
+          if (*done) (*done)(blocklayer::IoResult{std::move(st), {}});
+          return;
+        }
+        std::uint64_t name = 0;
+        if (auto ppa = page_ftl_->Locate(lba)) {
+          name = ppa->Flatten(config_.geometry);
+        }
+        if (*done) {
+          (*done)(blocklayer::IoResult{Status::Ok(), {name}});
+        }
+      },
+      trace::Ctx{cmd.span, 0, trace::Origin::kHostWrite});
 }
 
 Status Device::PowerCycle() {

@@ -2,7 +2,9 @@
 #define POSTBLOCK_SSD_DEVICE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <vector>
 
 #include "blocklayer/block_device.h"
 #include "common/histogram.h"
@@ -37,7 +39,24 @@ class Device : public blocklayer::BlockDevice {
     return config_.geometry.page_size_bytes;
   }
   void Submit(blocklayer::IoRequest request) override;
+  /// One doorbell ring admitting the whole batch: the fixed controller
+  /// overhead is paid once, then commands are fetched from the SQ at
+  /// doorbell_cmd_ns intervals — admission is pipelined, not serial.
+  void SubmitBatch(std::vector<blocklayer::IoRequest> batch) override;
   const Counters& counters() const override { return counters_; }
+
+  /// Typed host commands (host::HostInterface). Beyond the block
+  /// vocabulary, the device natively executes atomic write groups and
+  /// nameless writes when running the page-mapping FTL — the paper's §4
+  /// "new interfaces" that a block device cannot express.
+  void Execute(host::Command cmd) override;
+  bool Supports(host::CommandKind kind) const override;
+
+  /// Completions routed to multi-queue submitters, per software queue
+  /// (read from IoCallback::queue_id). 0 for queues never seen.
+  std::uint64_t cq_posts(std::uint16_t queue_id) const {
+    return queue_id < cq_posts_.size() ? cq_posts_[queue_id] : 0;
+  }
 
   // --- Introspection ------------------------------------------------
   sim::Simulator* sim() { return sim_; }
@@ -67,6 +86,14 @@ class Device : public blocklayer::BlockDevice {
   void SubmitPageOps(const std::shared_ptr<blocklayer::IoRequest>& req,
                      bool root, SimTime submit_t);
 
+  /// Common admission path: validation, trace, then page-op fanout
+  /// after controller_overhead_ns + admit_delay (the extra delay is the
+  /// batched doorbell's per-command fetch offset).
+  void Admit(blocklayer::IoRequest request, SimTime admit_delay);
+
+  void ExecuteAtomicGroup(host::Command cmd);
+  void ExecuteNamelessWrite(host::Command cmd);
+
   bool Traced() const { return tracer_ != nullptr && tracer_->enabled(); }
 
   sim::Simulator* sim_;
@@ -80,6 +107,18 @@ class Device : public blocklayer::BlockDevice {
   Histogram read_latency_;
   Histogram write_latency_;
   Counters counters_;
+
+  /// Per-software-queue completion counts (indexed by the submitting
+  /// queue's IoCallback::queue_id; grows on demand). Deliberately not a
+  /// Counters entry so default counter dumps are unchanged.
+  std::vector<std::uint64_t> cq_posts_;
+
+  /// Nameless-write slot bookkeeping (kNamelessWrite): LBAs handed out
+  /// device-side, lowest-unused-first, recycled on trim of a named
+  /// page. Minimal device-level model — core::NamelessStore remains the
+  /// full host-side implementation with migration tracking.
+  Lba nameless_next_ = 0;
+  std::deque<Lba> nameless_free_;
 
   trace::Tracer* tracer_ = nullptr;  // == config_.tracer
   std::uint32_t dev_track_ = 0;      // "ssd-device" (host pid)
