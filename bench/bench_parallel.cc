@@ -1,0 +1,151 @@
+// bench_parallel — sharded event cores: scaling and determinism.
+//
+// Runs the 4-channel fig2-class workload (host reads/writes fighting
+// per-channel GC) on the sharded engine at workers = 0 (sequential
+// reference), 1, 2 and 4, and reports events/sec, per-worker-count
+// speedup, and the determinism bit: every worker count must produce a
+// combined fingerprint byte-identical to the sequential reference.
+//
+// Emits BENCH_parallel.json; scripts/check_perf.sh gate 7 enforces the
+// determinism bit unconditionally and the >= 1.6x speedup floor at 4
+// workers when the machine actually has >= 4 hardware threads (the
+// meta stamp records both counts so a scaling number can never be
+// misread).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ssd/config.h"
+#include "ssd/sharded_backend.h"
+
+namespace postblock::ssd {
+namespace {
+
+struct Row {
+  std::uint32_t workers = 0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t rounds = 0;
+  double seconds = 0;
+  std::uint64_t fingerprint = 0;
+  SimTime sim_end_ns = 0;
+
+  double eps() const { return seconds > 0 ? events / seconds : 0; }
+};
+
+Config BenchConfig() {
+  Config config = Config::Small();
+  config.geometry.channels = 4;
+  config.geometry.luns_per_channel = 4;
+  return config;
+}
+
+ShardedRunConfig BenchRun(std::uint32_t workers,
+                          std::uint64_t ios_per_channel) {
+  ShardedRunConfig run;
+  run.workers = workers;
+  run.ios_per_channel = ios_per_channel;
+  run.queue_depth_per_channel = 16;
+  return run;
+}
+
+Row RunOnce(std::uint32_t workers, std::uint64_t ios_per_channel) {
+  ShardedFlashSim sim(BenchConfig(), BenchRun(workers, ios_per_channel));
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimTime end = sim.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Row row;
+  row.workers = workers;
+  row.events = sim.engine()->events_executed();
+  row.messages = sim.engine()->messages_delivered();
+  row.rounds = sim.engine()->rounds();
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.fingerprint = sim.CombinedFingerprint();
+  row.sim_end_ns = end;
+  return row;
+}
+
+int Main() {
+  constexpr std::uint64_t kIosPerChannel = 60'000;
+  const std::uint32_t hw = std::thread::hardware_concurrency();
+
+  std::printf("bench_parallel: sharded event cores on the 4-channel "
+              "fig2-class workload\n");
+  std::printf("  %" PRIu64 " IOs/channel, QD 16/channel, "
+              "hardware_concurrency=%u\n\n",
+              kIosPerChannel, hw);
+
+  const std::vector<std::uint32_t> worker_counts = {0, 1, 2, 4};
+  std::vector<Row> rows;
+  for (const std::uint32_t w : worker_counts) {
+    // Warm-up at a fraction of the size, then the measured run.
+    RunOnce(w, kIosPerChannel / 10);
+    Row row = RunOnce(w, kIosPerChannel);
+    std::printf("  workers=%u: %8.2fM ev/s  (%" PRIu64 " events, %" PRIu64
+                " seam msgs, %" PRIu64 " rounds, %.3fs)\n",
+                w, row.eps() / 1e6, row.events, row.messages, row.rounds,
+                row.seconds);
+    rows.push_back(row);
+  }
+
+  const Row& seq = rows[0];
+  bool determinism_ok = true;
+  for (const Row& r : rows) {
+    if (r.fingerprint != seq.fingerprint || r.events != seq.events) {
+      std::printf("DETERMINISM MISMATCH at workers=%u: fingerprint "
+                  "%016" PRIx64 " vs reference %016" PRIx64 "\n",
+                  r.workers, r.fingerprint, seq.fingerprint);
+      determinism_ok = false;
+    }
+  }
+  const double speedup_4w =
+      seq.seconds > 0 && rows.back().seconds > 0
+          ? seq.seconds / rows.back().seconds
+          : 0;
+  std::printf("\ndeterminism: %s\n",
+              determinism_ok ? "all worker counts byte-identical"
+                             : "MISMATCH");
+  std::printf("speedup at 4 workers vs sequential: %.2fx%s\n", speedup_4w,
+              hw < 4 ? "  (machine has <4 hardware threads; floor not "
+                       "meaningful here)"
+                     : "");
+
+  std::FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  const Config config = BenchConfig();
+  bench::WriteJsonMeta(f, &config, /*workers=*/4);
+  for (const Row& r : rows) {
+    std::fprintf(f,
+                 "  \"workers%u\": {\"events\": %" PRIu64
+                 ", \"eps\": %.0f, \"seconds\": %.6f, \"seam_messages\": "
+                 "%" PRIu64 ", \"rounds\": %" PRIu64
+                 ", \"fingerprint\": \"%016" PRIx64
+                 "\", \"sim_end_ns\": %" PRIu64 "},\n",
+                 r.workers, r.events, r.eps(), r.seconds, r.messages,
+                 r.rounds, r.fingerprint,
+                 static_cast<std::uint64_t>(r.sim_end_ns));
+  }
+  std::fprintf(f, "  \"determinism_ok\": %s,\n",
+               determinism_ok ? "true" : "false");
+  std::fprintf(f, "  \"speedup_4w\": %.3f\n", speedup_4w);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_parallel.json\n");
+  return determinism_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace postblock::ssd
+
+int main() { return postblock::ssd::Main(); }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "blocklayer/block_device.h"
 #include "common/table.h"
@@ -32,13 +33,19 @@ inline std::string GitShaShort() {
 }
 
 /// Writes the shared `"meta"` object (followed by a comma) into an open
-/// BENCH_*.json: git SHA, plus the device shape when a config is given.
-/// Consumers (scripts/check_perf.sh) skip the "meta" key when comparing
-/// runs.
+/// BENCH_*.json: git SHA, the worker-thread count the run used (0 =
+/// single-threaded reference path) and the machine's hardware
+/// concurrency — so a scaling number can never be read without knowing
+/// how many cores produced it — plus the device shape when a config is
+/// given. Consumers (scripts/check_perf.sh) skip the "meta" key when
+/// comparing runs.
 inline void WriteJsonMeta(std::FILE* f,
-                          const ssd::Config* config = nullptr) {
+                          const ssd::Config* config = nullptr,
+                          std::uint32_t workers = 0) {
   std::fprintf(f, "  \"meta\": {\"git_sha\": \"%s\"",
                GitShaShort().c_str());
+  std::fprintf(f, ", \"workers\": %u, \"hardware_concurrency\": %u",
+               workers, std::thread::hardware_concurrency());
   if (config != nullptr) {
     std::fprintf(f, ", \"channels\": %u, \"chips\": %u",
                  config->geometry.channels, config->geometry.luns());

@@ -26,7 +26,14 @@
 #      the committed baseline (bench/baselines/mq_baseline.json,
 #      first-run bootstrap), 4 queues must deliver >= 2x the 1-queue
 #      IOPS on the lock-bound workload, and the completion path must
-#      not allocate in steady state.
+#      not allocate in steady state;
+#   7. the sharded parallel cores: every worker count (1/2/4) must
+#      produce a combined fingerprint byte-identical to the workers=0
+#      sequential reference on the 4-channel fig2-class workload
+#      (enforced unconditionally), and 4 workers must deliver >= 1.6x
+#      the sequential events/sec — enforced only when the machine has
+#      >= 4 hardware threads (the bench stamps hardware_concurrency
+#      into its meta so a skipped floor is visible in the artifact).
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -38,19 +45,22 @@ TOLERANCE=0.15
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
-  bench_metrics_overhead bench_reliability bench_mq -j "$(nproc)" >/dev/null
+  bench_metrics_overhead bench_reliability bench_mq bench_parallel \
+  -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
 ( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
 ( cd "$BUILD_DIR" && ./bench/bench_metrics_overhead )
 ( cd "$BUILD_DIR" && ./bench/bench_reliability )
 ( cd "$BUILD_DIR" && ./bench/bench_mq )
+( cd "$BUILD_DIR" && ./bench/bench_parallel )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
 TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
 METRICS_RESULT="$BUILD_DIR/BENCH_metrics_overhead.json"
 RELIABILITY_RESULT="$BUILD_DIR/BENCH_reliability.json"
 MQ_RESULT="$BUILD_DIR/BENCH_mq.json"
 MQ_BASELINE="bench/baselines/mq_baseline.json"
+PARALLEL_RESULT="$BUILD_DIR/BENCH_parallel.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -239,3 +249,47 @@ print(f"check_perf: OK (mq: schedule identical, 1-queue IOPS "
       f"{speedup:.2f}x >= 2x, allocs/IO ~0)")
 EOF
 fi
+
+python3 - "$PARALLEL_RESULT" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+failures = []
+
+# Determinism is the contract, not a target: every worker count must
+# commit the exact schedule the sequential reference commits. Checked
+# unconditionally — thread count never excuses divergence.
+if not result.get("determinism_ok", False):
+    failures.append(
+        "sharded engine schedules diverged across worker counts "
+        "(fingerprints not byte-identical to the workers=0 reference)")
+ref = result.get("workers0", {}).get("fingerprint")
+for key in ("workers1", "workers2", "workers4"):
+    fp = result.get(key, {}).get("fingerprint")
+    if fp is None or fp != ref:
+        failures.append(
+            f"{key} fingerprint {fp} != sequential reference {ref}")
+
+# The scaling floor only means something when the hardware can actually
+# run 4 workers; the meta stamp records what this machine had.
+hw = result.get("meta", {}).get("hardware_concurrency", 0)
+speedup = result.get("speedup_4w", 0.0)
+if hw >= 4:
+    if speedup < 1.6:
+        failures.append(
+            f"4-worker speedup {speedup:.2f}x < required 1.6x over the "
+            f"sequential reference (hardware_concurrency={hw})")
+    note = f"speedup {speedup:.2f}x >= 1.6x"
+else:
+    note = (f"speedup floor skipped: hardware_concurrency={hw} < 4 "
+            f"(measured {speedup:.2f}x)")
+
+if failures:
+    print("check_perf: FAIL (sharded parallel cores)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("check_perf: OK (sharded cores byte-identical at every worker "
+      f"count; {note})")
+EOF

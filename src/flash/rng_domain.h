@@ -1,0 +1,54 @@
+#ifndef POSTBLOCK_FLASH_RNG_DOMAIN_H_
+#define POSTBLOCK_FLASH_RNG_DOMAIN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace postblock::flash {
+
+/// Deterministic per-shard random streams for the sharded simulator.
+///
+/// Rng::Fork() derives sub-streams *sequentially* — the k-th fork
+/// depends on how many draws preceded it, which is exactly wrong once
+/// shards run concurrently: shard 3's stream must not depend on how
+/// much randomness shard 1 consumed, or on which worker got there
+/// first. An RngDomain instead derives each stream purely from
+/// (base_seed, domain_id), so a shard's entire draw sequence is a
+/// function of its own id — byte-identical at any worker count, and
+/// stable when shards are added (existing shards' streams don't move).
+///
+/// Domain ids are arbitrary 64-bit labels; the sharded flash backend
+/// uses the shard id for channel-local draws (GC victim liveness,
+/// per-LUN scramble) and kControllerDomain for host-side draws.
+class RngDomain {
+ public:
+  explicit RngDomain(std::uint64_t base_seed) : base_seed_(base_seed) {}
+
+  /// Reserved domain id for the controller / host-side shard.
+  static constexpr std::uint64_t kControllerDomain = ~std::uint64_t{0};
+
+  /// An independent deterministic stream for `domain_id`. Equal
+  /// (base_seed, domain_id) pairs always yield identical streams; any
+  /// two distinct ids yield streams decorrelated by a splitmix64 mix
+  /// (the same seeding discipline xoshiro's authors recommend).
+  Rng ForDomain(std::uint64_t domain_id) const {
+    return Rng(Mix(base_seed_ ^ Mix(domain_id)));
+  }
+
+  std::uint64_t base_seed() const { return base_seed_; }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t base_seed_;
+};
+
+}  // namespace postblock::flash
+
+#endif  // POSTBLOCK_FLASH_RNG_DOMAIN_H_

@@ -142,6 +142,31 @@ bool EventQueue::HasEventAtOrBefore(SimTime bound) {
   return AdvanceWithin(bound, &t);
 }
 
+SimTime EventQueue::MinPendingTime() const {
+  assert(size_ > 0);
+  // Place() keeps a strict time hierarchy regardless of cascade state:
+  // entries at level L live inside cur_'s level-L block but outside its
+  // level-(L-1) block, so every entry at a finer level precedes every
+  // entry at a coarser one, and the whole wheel precedes the overflow
+  // map. Within one level, slots are time-ordered and each slot's span
+  // ends before the next occupied slot begins — so the global minimum
+  // is in the earliest occupied slot of the finest occupied level.
+  for (int level = 0; level < kLevels; ++level) {
+    if (occupied_[level] == 0) continue;
+    const unsigned idx =
+        static_cast<unsigned>(std::countr_zero(occupied_[level]));
+    if (level == 0) {
+      // Level-0 entries in one slot share the 1 ns tick — exact.
+      return (cur_ & ~kSlotMask) | idx;
+    }
+    const auto& slot = slots_[level][idx];
+    SimTime m = ~SimTime{0};
+    for (const Entry& e : slot) m = std::min(m, e.when);
+    return m;
+  }
+  return overflow_.begin()->first;
+}
+
 EventQueue::Callback EventQueue::Pop() {
   const SimTime t = NextTime();
   auto& slot = slots_[0][t & kSlotMask];

@@ -78,6 +78,14 @@ class EventQueue {
   /// Removes and returns the earliest event's callback. Requires !empty().
   Callback Pop();
 
+  /// Timestamp of the earliest pending event, computed without moving
+  /// the wheel position (a pure read — unlike NextTime(), a later
+  /// Push(when) below the returned value is NOT clamped to it). The
+  /// sharded engine's rendezvous uses this to pick the next window
+  /// start across shards without committing any shard's wheel.
+  /// Requires !empty(). Cost: one scan of the finest occupied slot.
+  SimTime MinPendingTime() const;
+
  private:
   struct Entry {
     SimTime when;

@@ -1,0 +1,110 @@
+#include "sim/parallel_runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+namespace postblock::sim {
+
+std::vector<SweepResult> ParallelRunner::RunAll(
+    std::vector<SweepJob> jobs) const {
+  std::vector<SweepResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i) {
+    SweepResult r;
+    try {
+      r = jobs[i].fn();
+      r.name = jobs[i].name;
+    } catch (const std::exception& e) {
+      r = SweepResult{};
+      r.name = jobs[i].name;
+      r.ok = false;
+      r.error = e.what();
+    } catch (...) {
+      r = SweepResult{};
+      r.name = jobs[i].name;
+      r.ok = false;
+      r.error = "unknown exception";
+    }
+    results[i] = std::move(r);  // distinct slot per job: no lock needed
+  };
+
+  const std::uint32_t n =
+      threads_ <= 1
+          ? 1
+          : std::min<std::uint32_t>(
+                threads_, static_cast<std::uint32_t>(jobs.size()));
+  if (n <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i =
+          cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      run_one(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (std::uint32_t t = 1; t < n; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls jobs too
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ParallelRunner::SweepReportJson(
+    const std::vector<SweepResult>& results,
+    const std::string& meta_fields) {
+  std::string out = "{\n  \"meta\": {";
+  out += meta_fields;
+  out += "},\n  \"runs\": [\n";
+  char buf[64];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    out += "    {\"name\": \"";
+    AppendJsonEscaped(&out, r.name);
+    out += r.ok ? "\", \"ok\": true" : "\", \"ok\": false";
+    if (!r.ok) {
+      out += ", \"error\": \"";
+      AppendJsonEscaped(&out, r.error);
+      out += "\"";
+    }
+    for (const auto& [key, value] : r.metrics) {
+      out += ", \"";
+      AppendJsonEscaped(&out, key);
+      std::snprintf(buf, sizeof(buf), "\": %.17g", value);
+      out += buf;
+    }
+    if (!r.note.empty()) {
+      out += ", \"note\": \"";
+      AppendJsonEscaped(&out, r.note);
+      out += "\"";
+    }
+    out += i + 1 < results.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace postblock::sim

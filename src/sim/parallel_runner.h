@@ -1,0 +1,66 @@
+#ifndef POSTBLOCK_SIM_PARALLEL_RUNNER_H_
+#define POSTBLOCK_SIM_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace postblock::sim {
+
+/// Result of one sweep job: an ordered metric list (order is part of
+/// the contract so reports and equality checks are deterministic) plus
+/// a freeform note. Doubles are compared bitwise by the harness tests:
+/// a job must be a pure function of its closure, so running it on a
+/// worker thread cannot change a single bit of its result.
+struct SweepResult {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+  std::string note;
+  bool ok = true;
+  std::string error;  // set when the job threw
+};
+
+/// One parameter point: a name and a self-contained job. The job
+/// builds its own Simulator/device stack, runs it, and returns the
+/// numbers — full multi-instance isolation (the whole postblock stack
+/// is thread-confined: no mutable globals besides the per-thread
+/// CallbackSlab, which is itself thread-local).
+struct SweepJob {
+  std::string name;
+  std::function<SweepResult()> fn;
+};
+
+/// Tier B of the parallel layer: runs N independent simulator
+/// instances on up to `threads` OS threads (parameter sweeps, seed
+/// fan-outs), aggregating results in job order — so the output is
+/// identical to running the jobs sequentially, just faster. Workers
+/// claim jobs from an atomic cursor; results land in per-job slots.
+class ParallelRunner {
+ public:
+  /// threads == 0 or 1 runs jobs inline on the calling thread.
+  explicit ParallelRunner(std::uint32_t threads) : threads_(threads) {}
+
+  /// Runs every job, returns results indexed like `jobs`. A throwing
+  /// job yields ok=false with the exception text; it never takes down
+  /// the sweep or perturbs other jobs.
+  std::vector<SweepResult> RunAll(std::vector<SweepJob> jobs) const;
+
+  std::uint32_t threads() const { return threads_; }
+
+  /// Renders a sweep report as one JSON object: {"meta": {...},
+  /// "runs": [{name, ok, metrics...}...]}. `meta_fields` is spliced
+  /// verbatim into the meta object (callers stamp git SHA / thread
+  /// counts via bench::WriteJsonMeta-style fragments).
+  static std::string SweepReportJson(
+      const std::vector<SweepResult>& results,
+      const std::string& meta_fields);
+
+ private:
+  std::uint32_t threads_;
+};
+
+}  // namespace postblock::sim
+
+#endif  // POSTBLOCK_SIM_PARALLEL_RUNNER_H_

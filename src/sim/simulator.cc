@@ -7,6 +7,17 @@ bool Simulator::Step() {
   now_ = queue_.NextTime();
   auto cb = queue_.Pop();
   ++events_executed_;
+  if (fingerprint_on_) {
+    // splitmix64-style fold: order-sensitive in the executed timestamp
+    // sequence, with the pending depth mixed in so two schedules that
+    // pop the same times in a different structural order still diverge.
+    std::uint64_t x = now_ ^ (queue_.size() * 0x9e3779b97f4a7c15ull);
+    x ^= fingerprint_ + 0x9e3779b97f4a7c15ull + (fingerprint_ << 6) +
+         (fingerprint_ >> 2);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    fingerprint_ = x ^ (x >> 31);
+  }
   cb();
   return true;
 }

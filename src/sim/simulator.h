@@ -73,11 +73,24 @@ class Simulator {
   /// (the sim.schedule_clamped stat; nonzero means a latent time bug).
   std::uint64_t schedule_clamped() const { return schedule_clamped_; }
 
+  /// Earliest pending timestamp without committing the wheel position
+  /// (pure read; see EventQueue::MinPendingTime). Requires pending work.
+  SimTime MinPendingTime() const { return queue_.MinPendingTime(); }
+
+  /// Starts folding every executed event's (timestamp, pending-depth)
+  /// into an order-sensitive hash — the committed-schedule fingerprint
+  /// the sharded engine compares across worker counts. One predicted
+  /// branch per event when off; Simulators never enable it by default.
+  void EnableFingerprint() { fingerprint_on_ = true; }
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t schedule_clamped_ = 0;
+  bool fingerprint_on_ = false;
+  std::uint64_t fingerprint_ = 0x6a09e667f3bcc908ull;
 };
 
 }  // namespace postblock::sim

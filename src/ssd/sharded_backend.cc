@@ -1,0 +1,280 @@
+#include "ssd/sharded_backend.h"
+
+#include <cassert>
+#include <string>
+
+namespace postblock::ssd {
+
+namespace {
+
+/// Order-sensitive 64-bit fold (same mix family as the engine's).
+std::uint64_t Fold(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t x = v ^ (h + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardedFlashSim::ShardedFlashSim(const Config& device_config,
+                                 const ShardedRunConfig& run_config)
+    : config_(device_config),
+      run_(run_config),
+      plan_(ShardPlan::FromConfig(device_config, run_.seam_coalesce_ns)),
+      ctrl_rng_(flash::RngDomain(device_config.seed)
+                    .ForDomain(flash::RngDomain::kControllerDomain)) {
+  sim::ShardedConfig engine_config;
+  engine_config.shards = plan_.num_shards;
+  engine_config.workers = run_.workers;
+  engine_config.lookahead = plan_.Lookahead();
+  engine_config.fingerprint = run_.fingerprint;
+  engine_ = std::make_unique<sim::ShardedEngine>(engine_config);
+
+  const flash::Geometry& geo = config_.geometry;
+  const flash::RngDomain domain(config_.seed);
+  const std::int64_t channel_pages =
+      static_cast<std::int64_t>(geo.luns_per_channel) *
+      geo.blocks_per_lun() * geo.pages_per_block;
+  channels_.reserve(geo.channels);
+  for (std::uint32_t c = 0; c < geo.channels; ++c) {
+    auto ch = std::make_unique<ChannelState>();
+    ch->channel = c;
+    sim::Simulator* shard_sim = engine_->shard(plan_.channel_shard[c]);
+    ch->bus = std::make_unique<sim::Resource>(
+        shard_sim, "shard.ch" + std::to_string(c) + ".bus");
+    ch->units.reserve(geo.luns_per_channel);
+    for (std::uint32_t l = 0; l < geo.luns_per_channel; ++l) {
+      ch->units.push_back(std::make_unique<sim::Resource>(
+          shard_sim, "shard.ch" + std::to_string(c) + ".lun" +
+                         std::to_string(l)));
+    }
+    ch->rng = domain.ForDomain(c);
+    ch->free_pages = static_cast<std::int64_t>(
+        static_cast<double>(channel_pages) * run_.initial_free_fraction);
+    channels_.push_back(std::move(ch));
+  }
+  queues_.resize(geo.channels);
+}
+
+ShardedFlashSim::~ShardedFlashSim() = default;
+
+SimTime ShardedFlashSim::Run() {
+  // One setup event on the controller shard primes every channel's
+  // closed loop in channel order — all initial Rng draws happen in one
+  // deterministic sequence.
+  engine_->shard(plan_.controller_shard)->Schedule(0, [this] {
+    for (std::uint32_t c = 0; c < config_.geometry.channels; ++c) {
+      for (std::uint32_t q = 0; q < run_.queue_depth_per_channel; ++q) {
+        IssueIo(c);
+      }
+    }
+  });
+  return engine_->Run();
+}
+
+// --- Controller shard --------------------------------------------------
+
+void ShardedFlashSim::IssueIo(std::uint32_t channel) {
+  HostQueue& q = queues_[channel];
+  if (q.issued >= run_.ios_per_channel) return;
+  ++q.issued;
+  ++q.inflight;
+  // Host-side placement draws (op type, target LUN) come from the
+  // controller's own Rng domain; channel shards never see them.
+  const bool is_write = ctrl_rng_.Uniform(100) < run_.write_percent;
+  const auto lun = static_cast<std::uint32_t>(
+      ctrl_rng_.Uniform(config_.geometry.luns_per_channel));
+  sim::Simulator* ctrl = engine_->shard(plan_.controller_shard);
+  const SimTime now = ctrl->Now();
+  const SimTime arrive = now + plan_.dispatch_ns;
+  if (is_write) {
+    engine_->Post(plan_.controller_shard, plan_.channel_shard[channel],
+                  arrive, [this, channel, lun, now] {
+                    StartWrite(channel, lun, now);
+                  });
+  } else {
+    engine_->Post(plan_.controller_shard, plan_.channel_shard[channel],
+                  arrive, [this, channel, lun, now] {
+                    StartRead(channel, lun, now);
+                  });
+  }
+}
+
+void ShardedFlashSim::OnCompletion(std::uint32_t channel,
+                                   SimTime issued_at, bool is_write) {
+  (void)is_write;
+  HostQueue& q = queues_[channel];
+  --q.inflight;
+  ++q.completed;
+  ++total_completed_;
+  const SimTime now = engine_->shard(plan_.controller_shard)->Now();
+  latency_.Record(now - issued_at);
+  IssueIo(channel);
+}
+
+// --- Channel shards ----------------------------------------------------
+
+void ShardedFlashSim::StartRead(std::uint32_t channel, std::uint32_t lun,
+                                SimTime issued_at) {
+  ChannelState& ch = *channels_[channel];
+  // LUN: command + array read to the page register, then the shared
+  // bus: data transfer out — the order that makes reads channel-bound.
+  ch.units[lun]->UseFor(
+      config_.timing.cmd_ns + config_.timing.read_ns,
+      [this, channel, issued_at] {
+        ChannelState& c = *channels_[channel];
+        ++c.reads;
+        c.bus->UseFor(TransferNs(), [this, channel, issued_at] {
+          PostCompletion(channel, issued_at, /*is_write=*/false);
+        });
+      });
+}
+
+void ShardedFlashSim::StartWrite(std::uint32_t channel, std::uint32_t lun,
+                                 SimTime issued_at) {
+  ChannelState& ch = *channels_[channel];
+  // Bus: data transfer in, then LUN: array program — writes overlap
+  // their long program phases across LUNs (chip-bound).
+  ch.bus->UseFor(TransferNs(), [this, channel, lun, issued_at] {
+    ChannelState& c = *channels_[channel];
+    c.units[lun]->UseFor(
+        config_.timing.program_ns, [this, channel, issued_at] {
+          ChannelState& cc = *channels_[channel];
+          ++cc.programs;
+          --cc.free_pages;
+          PostCompletion(channel, issued_at, /*is_write=*/true);
+          MaybeStartGc(channel);
+        });
+  });
+}
+
+void ShardedFlashSim::PostCompletion(std::uint32_t channel,
+                                     SimTime issued_at, bool is_write) {
+  sim::Simulator* shard_sim = engine_->shard(plan_.channel_shard[channel]);
+  const SimTime deliver = shard_sim->Now() + plan_.complete_ns;
+  engine_->Post(plan_.channel_shard[channel], plan_.controller_shard,
+                deliver, [this, channel, issued_at, is_write] {
+                  OnCompletion(channel, issued_at, is_write);
+                });
+}
+
+void ShardedFlashSim::MaybeStartGc(std::uint32_t channel) {
+  ChannelState& ch = *channels_[channel];
+  if (ch.gc_active || ch.free_pages >= GcWatermarkPages()) return;
+  ch.gc_active = true;
+  ++ch.gc_cycles;
+  // Victim liveness and relocation LUN come from this shard's own Rng
+  // domain — the draw sequence depends only on this channel's event
+  // order, never on other shards or worker interleaving.
+  const std::uint64_t cap =
+      static_cast<std::uint64_t>(config_.geometry.pages_per_block) *
+      run_.gc_max_live_x128 / 128;
+  ch.gc_moves_left =
+      cap == 0 ? 0 : static_cast<std::uint32_t>(ch.rng.Uniform(cap + 1));
+  ch.gc_lun = static_cast<std::uint32_t>(
+      ch.rng.Uniform(config_.geometry.luns_per_channel));
+  GcStep(channel);
+}
+
+void ShardedFlashSim::GcStep(std::uint32_t channel) {
+  ChannelState& ch = *channels_[channel];
+  if (ch.gc_moves_left == 0) {
+    GcErase(channel);
+    return;
+  }
+  --ch.gc_moves_left;
+  // One relocation: read the live page off the victim LUN, haul it
+  // across the channel bus, program it back — external copy, so GC
+  // fights host IO for both the LUN and the bus (Figure 2's
+  // interference, confined to this shard).
+  ch.units[ch.gc_lun]->UseFor(
+      config_.timing.cmd_ns + config_.timing.read_ns, [this, channel] {
+        ChannelState& c = *channels_[channel];
+        ++c.reads;
+        c.bus->UseFor(TransferNs(), [this, channel] {
+          ChannelState& cc = *channels_[channel];
+          cc.units[cc.gc_lun]->UseFor(
+              config_.timing.program_ns, [this, channel] {
+                ChannelState& c3 = *channels_[channel];
+                ++c3.programs;
+                ++c3.gc_moves;
+                GcStep(channel);
+              });
+        });
+      });
+}
+
+void ShardedFlashSim::GcErase(std::uint32_t channel) {
+  ChannelState& ch = *channels_[channel];
+  // Erase dispatch holds the bus for command cycles only, then the LUN
+  // is busy for the full 2 ms-class erase.
+  ch.bus->UseFor(config_.timing.cmd_ns, [this, channel] {
+    ChannelState& c = *channels_[channel];
+    c.units[c.gc_lun]->UseFor(config_.timing.erase_ns, [this, channel] {
+      ChannelState& cc = *channels_[channel];
+      ++cc.erases;
+      // The erased block's pages return minus the ones GC re-programmed.
+      cc.free_pages += static_cast<std::int64_t>(
+          config_.geometry.pages_per_block);
+      cc.gc_active = false;
+      MaybeStartGc(channel);
+    });
+  });
+}
+
+// --- Observables -------------------------------------------------------
+
+std::uint64_t ShardedFlashSim::pages_read() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) n += ch->reads;
+  return n;
+}
+
+std::uint64_t ShardedFlashSim::pages_programmed() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) n += ch->programs;
+  return n;
+}
+
+std::uint64_t ShardedFlashSim::blocks_erased() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) n += ch->erases;
+  return n;
+}
+
+std::uint64_t ShardedFlashSim::gc_page_moves() const {
+  std::uint64_t n = 0;
+  for (const auto& ch : channels_) n += ch->gc_moves;
+  return n;
+}
+
+std::uint64_t ShardedFlashSim::ModelFingerprint() const {
+  std::uint64_t h = 0x452821e638d01377ull;
+  h = Fold(h, latency_.count());
+  h = Fold(h, latency_.min());
+  h = Fold(h, latency_.max());
+  h = Fold(h, static_cast<std::uint64_t>(latency_.Sum()));
+  h = Fold(h, latency_.P50());
+  h = Fold(h, latency_.P999());
+  for (const auto& ch : channels_) {
+    h = Fold(h, ch->reads);
+    h = Fold(h, ch->programs);
+    h = Fold(h, ch->erases);
+    h = Fold(h, ch->gc_moves);
+    h = Fold(h, ch->gc_cycles);
+    h = Fold(h, static_cast<std::uint64_t>(ch->free_pages));
+    h = Fold(h, ch->bus->busy_ns());
+  }
+  for (const auto& q : queues_) {
+    h = Fold(h, q.completed);
+  }
+  h = Fold(h, engine_->Now());
+  return h;
+}
+
+std::uint64_t ShardedFlashSim::CombinedFingerprint() const {
+  return Fold(ModelFingerprint(), engine_->Fingerprint());
+}
+
+}  // namespace postblock::ssd

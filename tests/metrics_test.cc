@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -233,8 +235,14 @@ TEST(TimeSeriesTest, CsvAndJsonExport) {
   sim.Run();
   sampler.Stop();
 
-  const std::string csv = ::testing::TempDir() + "/metrics_test.csv";
-  const std::string json = ::testing::TempDir() + "/metrics_test.json";
+  // Unique per process: gtest_discover_tests turns every TEST into its
+  // own ctest entry, and `ctest -j` runs them concurrently out of one
+  // TempDir — fixed artifact names would let parallel test processes
+  // clobber each other's files.
+  const std::string stem = ::testing::TempDir() + "/metrics_test." +
+                           std::to_string(::getpid());
+  const std::string csv = stem + ".csv";
+  const std::string json = stem + ".json";
   ASSERT_TRUE(sampler.series().WriteCsv(csv).ok());
   ASSERT_TRUE(
       sampler.series().WriteJson(json, "\"git_sha\": \"test\"").ok());
