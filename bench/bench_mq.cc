@@ -211,7 +211,8 @@ int main() {
   std::FILE* f = std::fopen("BENCH_mq.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n");
-    bench::WriteJsonMeta(f);
+    // Topology stamp: single-tenant workload swept up to 8 mq queues.
+    bench::WriteJsonMeta(f, nullptr, 0, /*tenants=*/1, /*queues=*/8);
     std::fprintf(f, "  \"schedule_identical\": %s,\n",
                  schedule_identical ? "true" : "false");
     std::fprintf(f,

@@ -37,11 +37,15 @@ inline std::string GitShaShort() {
 /// single-threaded reference path) and the machine's hardware
 /// concurrency — so a scaling number can never be read without knowing
 /// how many cores produced it — plus the device shape when a config is
-/// given. Consumers (scripts/check_perf.sh) skip the "meta" key when
-/// comparing runs.
+/// given and, when >= 0, the tenant/queue topology the run exercised
+/// (max vbd tenants multiplexed, mq submission queues), so multi-tenant
+/// and multi-queue artifacts are self-describing. Consumers
+/// (scripts/check_perf.sh) skip the "meta" key when comparing runs.
 inline void WriteJsonMeta(std::FILE* f,
                           const ssd::Config* config = nullptr,
-                          std::uint32_t workers = 0) {
+                          std::uint32_t workers = 0,
+                          std::int64_t tenants = -1,
+                          std::int64_t queues = -1) {
   std::fprintf(f, "  \"meta\": {\"git_sha\": \"%s\"",
                GitShaShort().c_str());
   std::fprintf(f, ", \"workers\": %u, \"hardware_concurrency\": %u",
@@ -49,6 +53,14 @@ inline void WriteJsonMeta(std::FILE* f,
   if (config != nullptr) {
     std::fprintf(f, ", \"channels\": %u, \"chips\": %u",
                  config->geometry.channels, config->geometry.luns());
+  }
+  if (tenants >= 0) {
+    std::fprintf(f, ", \"tenants\": %lld",
+                 static_cast<long long>(tenants));
+  }
+  if (queues >= 0) {
+    std::fprintf(f, ", \"queues\": %lld",
+                 static_cast<long long>(queues));
   }
   std::fprintf(f, "},\n");
 }

@@ -101,11 +101,14 @@ int main(int argc, char** argv) {
                 r.metrics[3].second, r.metrics[4].second);
   }
 
+  // Topology stamp (self-describing artifacts): each sweep point is a
+  // single-tenant, single-queue stack at queue depth 8.
   const std::string meta =
       "\"threads\": " + std::to_string(threads) +
       ", \"hardware_concurrency\": " +
       std::to_string(std::thread::hardware_concurrency()) +
-      ", \"ops_per_point\": " + std::to_string(ops);
+      ", \"ops_per_point\": " + std::to_string(ops) +
+      ", \"tenants\": 1, \"queues\": 1, \"queue_depth\": 8";
   const std::string json =
       sim::ParallelRunner::SweepReportJson(results, meta);
   std::FILE* f = std::fopen("sweep_report.json", "w");

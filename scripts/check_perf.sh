@@ -33,7 +33,14 @@
 #      (enforced unconditionally), and 4 workers must deliver >= 1.6x
 #      the sequential events/sec — enforced only when the machine has
 #      >= 4 hardware threads (the bench stamps hardware_concurrency
-#      into its meta so a skipped floor is visible in the artifact).
+#      into its meta so a skipped floor is visible in the artifact);
+#   8. the multi-tenant vbd layer: a single pass-through tenant must be
+#      schedule-identical to the raw device (neutrality: no tenants,
+#      no cost), the 256-tenant create/run/destroy cycle must digest
+#      identically when run twice (determinism at scale), and the
+#      noisy-neighbor victim's p999 with DRR QoS weights on must stay
+#      < 2x its solo-run p999 while the aggressor runs GC-heavy
+#      random writes.
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -46,7 +53,7 @@ TOLERANCE=0.15
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
   bench_metrics_overhead bench_reliability bench_mq bench_parallel \
-  -j "$(nproc)" >/dev/null
+  bench_vbd -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
 ( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
@@ -54,6 +61,7 @@ cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
 ( cd "$BUILD_DIR" && ./bench/bench_reliability )
 ( cd "$BUILD_DIR" && ./bench/bench_mq )
 ( cd "$BUILD_DIR" && ./bench/bench_parallel )
+( cd "$BUILD_DIR" && ./bench/bench_vbd )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
 TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
 METRICS_RESULT="$BUILD_DIR/BENCH_metrics_overhead.json"
@@ -61,6 +69,7 @@ RELIABILITY_RESULT="$BUILD_DIR/BENCH_reliability.json"
 MQ_RESULT="$BUILD_DIR/BENCH_mq.json"
 MQ_BASELINE="bench/baselines/mq_baseline.json"
 PARALLEL_RESULT="$BUILD_DIR/BENCH_parallel.json"
+VBD_RESULT="$BUILD_DIR/BENCH_vbd.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -292,4 +301,50 @@ if failures:
     sys.exit(1)
 print("check_perf: OK (sharded cores byte-identical at every worker "
       f"count; {note})")
+EOF
+
+python3 - "$VBD_RESULT" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+failures = []
+
+# Neutrality is the contract the whole repo rests on: routing IO
+# through a Backend with one whole-device tenant and no QoS gate must
+# reproduce the raw device's schedule bit for bit — the in-binary proxy
+# for "all paper benches unchanged with no tenants configured".
+if not result.get("neutral", {}).get("schedule_identical", False):
+    failures.append(
+        "pass-through tenant schedule diverged from the raw device "
+        "(vbd neutrality broken)")
+
+# 256 tenants created, run concurrently, and destroyed must digest
+# identically across two full runs — lifecycle at scale stays
+# deterministic.
+if not result.get("scaling", {}).get("digest_identical_256", False):
+    failures.append(
+        "256-tenant create/run/destroy digests diverged across two "
+        "runs (lifecycle determinism broken)")
+
+# The QoS claim: with DRR weights on the admission gate, the victim's
+# p999 read latency stays < 2x its solo run while the aggressor issues
+# GC-heavy random writes.
+noisy = result.get("noisy", {})
+ratio = noisy.get("ratio_qos", 99.0)
+if ratio >= 2.0:
+    failures.append(
+        f"noisy-neighbor victim p999 with QoS {ratio:.2f}x solo >= 2x "
+        f"bound (p999 solo {noisy.get('p999_solo_us')}us, with QoS "
+        f"{noisy.get('p999_qos_us')}us)")
+
+if failures:
+    print("check_perf: FAIL (multi-tenant vbd)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("check_perf: OK (vbd: pass-through schedule identical, "
+      "256-tenant digest stable, noisy-neighbor p999 with QoS "
+      f"{ratio:.2f}x solo < 2x; unthrottled was "
+      f"{noisy.get('ratio_noqos', 0):.2f}x)")
 EOF

@@ -2,11 +2,13 @@
 # ThreadSanitizer gate for the parallel layer.
 #
 # Builds with -DSIM_TSAN=ON (mutually exclusive with -DSIM_ASAN=ON; see
-# the top-level CMakeLists.txt) and runs the two test binaries that
-# exercise threads — the sharded engine's worker pool and the
-# multi-instance sweep harness — plus bench_parallel at a reduced size.
-# Any data race TSan finds fails the script: the determinism story is
-# only as good as the absence of unsynchronized sharing at the seam.
+# the top-level CMakeLists.txt) and runs the test binaries that
+# exercise threads — the sharded engine's worker pool, the
+# multi-instance sweep harness, and the vbd suite (whose sharded test
+# drives multi-tenant DRR attribution through the engine's worker
+# pool) — plus bench_parallel at a reduced size. Any data race TSan
+# finds fails the script: the determinism story is only as good as the
+# absence of unsynchronized sharing at the seam.
 #
 # Usage: scripts/check_tsan.sh [build-dir]     (default: build-tsan)
 set -euo pipefail
@@ -17,7 +19,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSIM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
 cmake --build "$BUILD_DIR" --target sharded_sim_test parallel_test \
-  bench_parallel -j "$(nproc)" >/dev/null
+  vbd_test bench_parallel -j "$(nproc)" >/dev/null
 
 # halt_on_error makes the first race fatal instead of a log line the
 # shell would ignore; second_deadlock_stack improves lock reports.
@@ -28,6 +30,9 @@ echo "check_tsan: sharded engine tests (worker pool, barriers, seam)"
 
 echo "check_tsan: sweep harness tests (thread-confined full stacks)"
 "$BUILD_DIR/tests/parallel_test"
+
+echo "check_tsan: vbd suite (multi-tenant attribution on engine workers)"
+"$BUILD_DIR/tests/vbd_test"
 
 echo "check_tsan: bench_parallel (all worker counts, bench-scale load)"
 ( cd "$BUILD_DIR" && ./bench/bench_parallel >/dev/null )

@@ -55,6 +55,16 @@ ShardedFlashSim::ShardedFlashSim(const Config& device_config,
     channels_.push_back(std::move(ch));
   }
   queues_.resize(geo.channels);
+  if (!run_.tenant_weights.empty()) {
+    const std::size_t n = run_.tenant_weights.size();
+    tenant_credits_.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::uint32_t w = run_.tenant_weights[t];
+      tenant_credits_[t] = w == 0 ? 1 : w;
+    }
+    tenant_completed_.assign(n, 0);
+    tenant_latency_.resize(n);
+  }
 }
 
 ShardedFlashSim::~ShardedFlashSim() = default;
@@ -81,28 +91,50 @@ void ShardedFlashSim::IssueIo(std::uint32_t channel) {
   ++q.issued;
   ++q.inflight;
   // Host-side placement draws (op type, target LUN) come from the
-  // controller's own Rng domain; channel shards never see them.
+  // controller's own Rng domain; channel shards never see them. The
+  // tenant label is a pure DRR cursor — no draw, so an empty weight
+  // list leaves the sequence byte-identical.
   const bool is_write = ctrl_rng_.Uniform(100) < run_.write_percent;
   const auto lun = static_cast<std::uint32_t>(
       ctrl_rng_.Uniform(config_.geometry.luns_per_channel));
+  const std::uint32_t tenant =
+      run_.tenant_weights.empty() ? 0 : NextTenant();
   sim::Simulator* ctrl = engine_->shard(plan_.controller_shard);
   const SimTime now = ctrl->Now();
   const SimTime arrive = now + plan_.dispatch_ns;
   if (is_write) {
     engine_->Post(plan_.controller_shard, plan_.channel_shard[channel],
-                  arrive, [this, channel, lun, now] {
-                    StartWrite(channel, lun, now);
+                  arrive, [this, channel, lun, now, tenant] {
+                    StartWrite(channel, lun, now, tenant);
                   });
   } else {
     engine_->Post(plan_.controller_shard, plan_.channel_shard[channel],
-                  arrive, [this, channel, lun, now] {
-                    StartRead(channel, lun, now);
+                  arrive, [this, channel, lun, now, tenant] {
+                    StartRead(channel, lun, now, tenant);
                   });
   }
 }
 
+std::uint32_t ShardedFlashSim::NextTenant() {
+  const std::size_t n = tenant_credits_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t t = (tenant_pos_ + i) % n;
+    if (tenant_credits_[t] == 0) continue;
+    --tenant_credits_[t];
+    tenant_pos_ = static_cast<std::uint32_t>(t);
+    return static_cast<std::uint32_t>(t);
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    const std::uint32_t w = run_.tenant_weights[t];
+    tenant_credits_[t] = w == 0 ? 1 : w;
+  }
+  tenant_pos_ = (tenant_pos_ + 1) % static_cast<std::uint32_t>(n);
+  return NextTenant();
+}
+
 void ShardedFlashSim::OnCompletion(std::uint32_t channel,
-                                   SimTime issued_at, bool is_write) {
+                                   SimTime issued_at, bool is_write,
+                                   std::uint32_t tenant) {
   (void)is_write;
   HostQueue& q = queues_[channel];
   --q.inflight;
@@ -110,52 +142,57 @@ void ShardedFlashSim::OnCompletion(std::uint32_t channel,
   ++total_completed_;
   const SimTime now = engine_->shard(plan_.controller_shard)->Now();
   latency_.Record(now - issued_at);
+  if (!tenant_completed_.empty()) {
+    ++tenant_completed_[tenant];
+    tenant_latency_[tenant].Record(now - issued_at);
+  }
   IssueIo(channel);
 }
 
 // --- Channel shards ----------------------------------------------------
 
 void ShardedFlashSim::StartRead(std::uint32_t channel, std::uint32_t lun,
-                                SimTime issued_at) {
+                                SimTime issued_at, std::uint32_t tenant) {
   ChannelState& ch = *channels_[channel];
   // LUN: command + array read to the page register, then the shared
   // bus: data transfer out — the order that makes reads channel-bound.
   ch.units[lun]->UseFor(
       config_.timing.cmd_ns + config_.timing.read_ns,
-      [this, channel, issued_at] {
+      [this, channel, issued_at, tenant] {
         ChannelState& c = *channels_[channel];
         ++c.reads;
-        c.bus->UseFor(TransferNs(), [this, channel, issued_at] {
-          PostCompletion(channel, issued_at, /*is_write=*/false);
+        c.bus->UseFor(TransferNs(), [this, channel, issued_at, tenant] {
+          PostCompletion(channel, issued_at, /*is_write=*/false, tenant);
         });
       });
 }
 
 void ShardedFlashSim::StartWrite(std::uint32_t channel, std::uint32_t lun,
-                                 SimTime issued_at) {
+                                 SimTime issued_at, std::uint32_t tenant) {
   ChannelState& ch = *channels_[channel];
   // Bus: data transfer in, then LUN: array program — writes overlap
   // their long program phases across LUNs (chip-bound).
-  ch.bus->UseFor(TransferNs(), [this, channel, lun, issued_at] {
+  ch.bus->UseFor(TransferNs(), [this, channel, lun, issued_at, tenant] {
     ChannelState& c = *channels_[channel];
     c.units[lun]->UseFor(
-        config_.timing.program_ns, [this, channel, issued_at] {
+        config_.timing.program_ns, [this, channel, issued_at, tenant] {
           ChannelState& cc = *channels_[channel];
           ++cc.programs;
           --cc.free_pages;
-          PostCompletion(channel, issued_at, /*is_write=*/true);
+          PostCompletion(channel, issued_at, /*is_write=*/true, tenant);
           MaybeStartGc(channel);
         });
   });
 }
 
 void ShardedFlashSim::PostCompletion(std::uint32_t channel,
-                                     SimTime issued_at, bool is_write) {
+                                     SimTime issued_at, bool is_write,
+                                     std::uint32_t tenant) {
   sim::Simulator* shard_sim = engine_->shard(plan_.channel_shard[channel]);
   const SimTime deliver = shard_sim->Now() + plan_.complete_ns;
   engine_->Post(plan_.channel_shard[channel], plan_.controller_shard,
-                deliver, [this, channel, issued_at, is_write] {
-                  OnCompletion(channel, issued_at, is_write);
+                deliver, [this, channel, issued_at, is_write, tenant] {
+                  OnCompletion(channel, issued_at, is_write, tenant);
                 });
 }
 
@@ -268,6 +305,14 @@ std::uint64_t ShardedFlashSim::ModelFingerprint() const {
   }
   for (const auto& q : queues_) {
     h = Fold(h, q.completed);
+  }
+  // Tenant attribution folds only when configured, so a weight-less
+  // run's fingerprint is unchanged from before tenants existed.
+  for (std::size_t t = 0; t < tenant_completed_.size(); ++t) {
+    h = Fold(h, tenant_completed_[t]);
+    h = Fold(h, tenant_latency_[t].count());
+    h = Fold(h, tenant_latency_[t].max());
+    h = Fold(h, tenant_latency_[t].P999());
   }
   h = Fold(h, engine_->Now());
   return h;

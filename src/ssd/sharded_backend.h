@@ -44,6 +44,14 @@ struct ShardedRunConfig {
   std::uint32_t gc_max_live_x128 = 32;
   /// Record per-shard schedule fingerprints (the determinism witness).
   bool fingerprint = true;
+  /// Multi-tenant attribution: when non-empty, the controller shard
+  /// labels each issued host IO with a tenant drawn by deficit round
+  /// robin over these weights (the vbd backend's arbiter, exercised on
+  /// the parallel engine) and keeps per-tenant completion counts and
+  /// latency histograms, folded into ModelFingerprint. Attribution is
+  /// pure bookkeeping — no extra Rng draws, no schedule change — and
+  /// empty (the default) skips it entirely, byte-identical to before.
+  std::vector<std::uint32_t> tenant_weights;
 };
 
 /// Sharded flash back-end: the fig2-class GC-interference workload run
@@ -100,6 +108,14 @@ class ShardedFlashSim {
   std::uint64_t ModelFingerprint() const;
   std::uint64_t CombinedFingerprint() const;
 
+  /// Per-tenant observables (valid when tenant_weights is non-empty).
+  std::uint64_t tenant_completed(std::size_t tenant) const {
+    return tenant_completed_[tenant];
+  }
+  const Histogram& tenant_latency(std::size_t tenant) const {
+    return tenant_latency_[tenant];
+  }
+
  private:
   /// Per-channel shard state. Only events on that shard touch it
   /// (enforced by construction: every member function that mutates it
@@ -131,15 +147,17 @@ class ShardedFlashSim {
   // Controller-shard logic.
   void IssueIo(std::uint32_t channel);
   void OnCompletion(std::uint32_t channel, SimTime issued_at,
-                    bool is_write);
+                    bool is_write, std::uint32_t tenant);
+  /// Next tenant label by DRR over tenant_weights (no Rng draws).
+  std::uint32_t NextTenant();
 
   // Channel-shard logic (timed pipelines).
   void StartRead(std::uint32_t channel, std::uint32_t lun,
-                 SimTime issued_at);
+                 SimTime issued_at, std::uint32_t tenant);
   void StartWrite(std::uint32_t channel, std::uint32_t lun,
-                  SimTime issued_at);
+                  SimTime issued_at, std::uint32_t tenant);
   void PostCompletion(std::uint32_t channel, SimTime issued_at,
-                      bool is_write);
+                      bool is_write, std::uint32_t tenant);
   void MaybeStartGc(std::uint32_t channel);
   void GcStep(std::uint32_t channel);
   void GcErase(std::uint32_t channel);
@@ -163,6 +181,12 @@ class ShardedFlashSim {
   Rng ctrl_rng_;
   Histogram latency_;
   std::uint64_t total_completed_ = 0;
+
+  // Tenant-attribution state (empty when tenant_weights is empty).
+  std::vector<std::uint32_t> tenant_credits_;
+  std::uint32_t tenant_pos_ = 0;
+  std::vector<std::uint64_t> tenant_completed_;
+  std::vector<Histogram> tenant_latency_;
 };
 
 }  // namespace postblock::ssd

@@ -40,7 +40,7 @@ std::string ToChromeJson(const Tracer& tracer) {
   std::set<std::uint32_t> pids;
   for (const auto& t : tracer.tracks()) {
     if (pids.insert(t.pid).second) {
-      AppendMetaEvent(&out, "process_name", t.pid, 0, PidName(t.pid),
+      AppendMetaEvent(&out, "process_name", t.pid, 0, PidLabel(t.pid),
                       /*thread_level=*/false);
     }
     AppendMetaEvent(&out, "thread_name", t.pid, t.tid, t.name,

@@ -2,6 +2,7 @@
 #define POSTBLOCK_TRACE_TRACE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.h"
 
@@ -112,6 +113,11 @@ struct Ctx {
 inline constexpr std::uint32_t kPidHost = 1;         // block layer, app
 inline constexpr std::uint32_t kPidTranslation = 2;  // device/FTL
 inline constexpr std::uint32_t kPidFlash = 3;        // channels + LUNs
+/// Tenant trace tracks: tenant slot N registers under pid
+/// kPidTenantBase + N, so Perfetto groups each tenant's spans as its
+/// own process ("tenant-N") — the multi-tenant view the vbd backend
+/// exports.
+inline constexpr std::uint32_t kPidTenantBase = 16;
 
 inline const char* PidName(std::uint32_t pid) {
   switch (pid) {
@@ -122,7 +128,16 @@ inline const char* PidName(std::uint32_t pid) {
     case kPidFlash:
       return "flash";
   }
-  return "?";
+  return pid >= kPidTenantBase ? "tenant" : "?";
+}
+
+/// Exporter-facing pid label: layer name for the fixed pids,
+/// "tenant-<slot>" for tenant pids.
+inline std::string PidLabel(std::uint32_t pid) {
+  if (pid >= kPidTenantBase) {
+    return "tenant-" + std::to_string(pid - kPidTenantBase);
+  }
+  return PidName(pid);
 }
 
 /// Integrates how long a resource has been held by GC/WL work — the

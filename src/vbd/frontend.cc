@@ -1,0 +1,19 @@
+#include "vbd/frontend.h"
+
+#include <utility>
+
+#include "vbd/backend.h"
+
+namespace postblock::vbd {
+
+void Frontend::Submit(blocklayer::IoRequest request) {
+  backend_->Submit(this, std::move(request));
+}
+
+TenantState Frontend::state() const { return backend_->StateFor(*this); }
+
+std::uint64_t Frontend::quota_used() const {
+  return backend_->QuotaUsedFor(*this);
+}
+
+}  // namespace postblock::vbd

@@ -1,0 +1,107 @@
+#include "workload/multi_tenant.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace postblock::workload {
+
+namespace {
+
+inline std::uint64_t Fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MixResult RunMultiTenantMix(sim::Simulator* sim,
+                            std::vector<TenantLoad> loads) {
+  struct State {
+    std::vector<TenantLoad> loads;
+    MixResult result;
+    std::uint64_t bounded_left = 0;  // bounded tenants not yet done
+    std::uint64_t inflight = 0;
+    bool stopped = false;  // background tenants stop issuing
+    SimTime start = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->loads = std::move(loads);
+  state->result.tenants.resize(state->loads.size());
+  state->result.digest = 1469598103934665603ull;  // FNV offset basis
+  state->start = sim->Now();
+  for (const TenantLoad& l : state->loads) {
+    if (l.ops != 0) ++state->bounded_left;
+  }
+
+  auto issue = std::make_shared<std::function<void(std::size_t)>>();
+  *issue = [sim, state, issue](std::size_t ti) {
+    TenantLoad& load = state->loads[ti];
+    TenantRunResult& res = state->result.tenants[ti];
+    if (load.ops != 0 && res.issued >= load.ops) return;
+    if (load.ops == 0 && state->stopped) return;
+    const std::uint64_t index = res.issued++;
+    const IoDesc d = load.pattern->Next();
+    blocklayer::IoRequest req;
+    req.op =
+        d.is_write ? blocklayer::IoOp::kWrite : blocklayer::IoOp::kRead;
+    req.lba = d.lba;
+    req.nblocks = d.nblocks;
+    if (d.is_write) {
+      req.tokens.reserve(d.nblocks);
+      for (std::uint32_t b = 0; b < d.nblocks; ++b) {
+        req.tokens.push_back((d.lba + b) * 1000003ull + index + 1);
+      }
+    }
+    const SimTime submit_time = sim->Now();
+    const bool is_write = d.is_write;
+    const std::uint32_t nblocks = d.nblocks;
+    ++state->inflight;
+    req.on_complete = [sim, state, issue, ti, submit_time, is_write,
+                       nblocks](const blocklayer::IoResult& r) {
+      TenantLoad& load = state->loads[ti];
+      TenantRunResult& res = state->result.tenants[ti];
+      --state->inflight;
+      ++res.completed;
+      res.blocks += nblocks;
+      if (!r.status.ok()) ++res.errors;
+      const SimTime lat = sim->Now() - submit_time;
+      (is_write ? res.write_latency : res.read_latency).Record(lat);
+      std::uint64_t& digest = state->result.digest;
+      digest = Fnv1a(digest, ti);
+      digest = Fnv1a(digest, sim->Now());
+      digest = Fnv1a(digest, r.status.ok() ? 1 : 0);
+      if (load.ops != 0 && res.completed == load.ops) {
+        --state->bounded_left;
+        if (state->bounded_left == 0) state->stopped = true;
+        return;
+      }
+      if (load.think_ns == 0) {
+        (*issue)(ti);
+      } else {
+        sim->Schedule(load.think_ns, [issue, ti]() { (*issue)(ti); });
+      }
+    };
+    load.device->Submit(std::move(req));
+  };
+
+  for (std::size_t ti = 0; ti < state->loads.size(); ++ti) {
+    const std::uint32_t depth = state->loads[ti].queue_depth;
+    for (std::uint32_t q = 0; q < depth; ++q) (*issue)(ti);
+  }
+  sim->RunUntilPredicate([state]() {
+    return (state->bounded_left == 0 || state->loads.empty()) &&
+           state->inflight == 0;
+  });
+
+  state->result.elapsed_ns = sim->Now() - state->start;
+  MixResult out = std::move(state->result);
+  // Break the self-reference cycle so the closure releases.
+  *issue = [](std::size_t) {};
+  return out;
+}
+
+}  // namespace postblock::workload

@@ -1,0 +1,59 @@
+#ifndef POSTBLOCK_WORKLOAD_MULTI_TENANT_H_
+#define POSTBLOCK_WORKLOAD_MULTI_TENANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "vbd/frontend.h"
+#include "workload/patterns.h"
+
+namespace postblock::workload {
+
+/// One tenant's role in a multi-tenant mix: which Frontend it drives,
+/// with what access pattern, at what closed-loop depth.
+struct TenantLoad {
+  vbd::Frontend* device = nullptr;
+  Pattern* pattern = nullptr;  // owned by the caller; one per tenant
+  /// IOs to complete. 0 = background load: issues continuously and is
+  /// stopped once every bounded tenant has finished (the aggressor in
+  /// a noisy-neighbor run).
+  std::uint64_t ops = 0;
+  std::uint32_t queue_depth = 1;
+  /// Think time between a completion and the replacement issue
+  /// (0 = immediate, a saturating closed loop).
+  SimTime think_ns = 0;
+};
+
+struct TenantRunResult {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t blocks = 0;
+  Histogram read_latency;   // per-request ns, incl. p999
+  Histogram write_latency;
+};
+
+struct MixResult {
+  SimTime elapsed_ns = 0;
+  /// Order-sensitive FNV-1a over every completion's (tenant index,
+  /// sim timestamp, ok bit) — two runs of the same mix must produce
+  /// the same digest (the run-twice determinism check).
+  std::uint64_t digest = 0;
+  std::vector<TenantRunResult> tenants;
+};
+
+/// Drives every tenant's closed loop concurrently in one simulator run
+/// — the noisy-neighbor scenario end to end: bounded tenants run to
+/// their op count, unbounded (ops == 0) tenants keep the device busy
+/// until every bounded tenant finishes, then all in-flight IO drains.
+/// Write tokens are the same deterministic (lba, op-index) stamps as
+/// RunClosedLoop, so integrity checks recompute them per tenant.
+MixResult RunMultiTenantMix(sim::Simulator* sim,
+                            std::vector<TenantLoad> loads);
+
+}  // namespace postblock::workload
+
+#endif  // POSTBLOCK_WORKLOAD_MULTI_TENANT_H_
