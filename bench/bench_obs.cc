@@ -1,0 +1,233 @@
+// Observability-overhead benchmark: what do the src/obs instruments
+// cost, and do they stay schedule-neutral?
+//
+// Part A — obs::EngineProfiler on the sharded engine. The 4-channel
+// fig2-class workload (the gate-7 workload) runs detached and with the
+// profiler attached, best-of-N with rotating in-rep order, at
+// workers = 0 (the sequential reference — wall-clock-stable on any
+// machine). The attached run must cost <= 2% and its committed
+// schedule fingerprint must be byte-identical to detached; an extra
+// attached run at workers = 2 must also match (the observer may not
+// perturb the parallel schedule either).
+//
+// Part B — obs::SloWatchdog determinism. A deterministic device
+// workload runs twice with the watchdog attached to the sampler under
+// an intentionally breached p99 bound; both runs must detect breaches
+// (> 0) and produce bit-identical breach digests.
+//
+// Emits BENCH_obs.json for scripts/check_perf.sh gate 9.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "obs/engine_profiler.h"
+#include "obs/slo_watchdog.h"
+#include "sim/simulator.h"
+#include "ssd/config.h"
+#include "ssd/device.h"
+#include "ssd/sharded_backend.h"
+#include "workload/patterns.h"
+
+namespace postblock {
+namespace {
+
+// --- Part A: profiler overhead + neutrality -------------------------------
+
+ssd::Config EngineConfig() {
+  ssd::Config config = ssd::Config::Small();
+  config.geometry.channels = 4;
+  config.geometry.luns_per_channel = 4;
+  return config;
+}
+
+struct EngineOut {
+  double seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+EngineOut RunEngine(std::uint32_t workers, std::uint64_t ios_per_channel,
+                    obs::EngineProfiler* profiler) {
+  ssd::ShardedRunConfig run;
+  run.workers = workers;
+  run.ios_per_channel = ios_per_channel;
+  run.queue_depth_per_channel = 16;
+  run.observer = profiler;
+  ssd::ShardedFlashSim sim(EngineConfig(), run);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.Run();
+  const auto t1 = std::chrono::steady_clock::now();
+  EngineOut out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.events = sim.engine()->events_executed();
+  out.fingerprint = sim.CombinedFingerprint();
+  return out;
+}
+
+// --- Part B: watchdog determinism -----------------------------------------
+
+struct WatchOut {
+  std::uint64_t breaches = 0;
+  std::uint64_t digest = 0;
+  std::size_t unresolved = 0;
+  std::uint64_t samples = 0;
+};
+
+WatchOut RunWatchdog() {
+  sim::Simulator sim;
+  metrics::MetricRegistry registry;
+  ssd::Config config = ssd::Config::Small();
+  config.over_provisioning = 0.10;
+  config.metrics = &registry;
+  ssd::Device device(&sim, config);
+  const std::uint64_t n = device.num_blocks();
+  bench::FillSequential(&sim, &device, n);
+
+  // The 1ns p99 bound and the absurd throughput floor are breached by
+  // construction: the bench verifies the watchdog *fires*, and fires
+  // the same way twice. The third spec names a metric that does not
+  // exist — the unresolved path must be stable too.
+  obs::SloWatchdog watchdog(std::vector<obs::SloSpec>{
+      {"read p99 <= 1ns (intentional breach)", "dev.read_lat_ns",
+       obs::SloKind::kMaxP99, 1.0, /*min_window_count=*/1},
+      {"completions >= 1e12/s (intentional breach)", "dev.completions",
+       obs::SloKind::kMinThroughput, 1e12},
+      {"missing metric (stays unresolved)", "no.such.metric",
+       obs::SloKind::kMaxGauge, 1.0},
+  });
+  metrics::Sampler sampler(&sim, &registry, 1'000'000);
+  sampler.set_observer(&watchdog);
+  sampler.Start();
+
+  workload::RandomPattern reads(0, n, /*is_write=*/false, 1, 8);
+  (void)workload::RunClosedLoop(&sim, &device, &reads, 5000, 4);
+  sim.Run();
+  sampler.Stop();
+
+  WatchOut out;
+  out.breaches = watchdog.total_breaches();
+  out.digest = watchdog.Digest();
+  out.unresolved = watchdog.unresolved_specs();
+  out.samples = sampler.samples_taken();
+  return out;
+}
+
+}  // namespace
+}  // namespace postblock
+
+int main() {
+  using namespace postblock;
+  bench::Banner("obs",
+                "observability cost over the gate-7 sharded workload",
+                "profiler attached <= 2% wall clock and schedule "
+                "byte-identical; watchdog breach stream deterministic");
+
+  constexpr std::uint64_t kIosPerChannel = 30'000;
+  constexpr int kReps = 5;
+
+  // Part A: best-of-N detached vs attached, rotating in-rep order so
+  // neither mode always pays allocator warm-up / frequency drift.
+  double best[2] = {1e30, 1e30};
+  EngineOut last[2];
+  obs::EngineProfiler profiler;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int i = 0; i < 2; ++i) {
+      const int m = (i + rep) % 2;
+      if (m == 1) profiler.Reset();
+      const EngineOut out =
+          RunEngine(/*workers=*/0, kIosPerChannel,
+                    m == 1 ? &profiler : nullptr);
+      best[m] = std::min(best[m], out.seconds);
+      last[m] = out;
+    }
+  }
+  const double overhead = best[0] > 0 ? best[1] / best[0] - 1.0 : 0;
+
+  // Neutrality: attached fingerprints (sequential and parallel) must
+  // equal the detached sequential reference.
+  obs::EngineProfiler par_profiler;
+  const EngineOut par =
+      RunEngine(/*workers=*/2, kIosPerChannel, &par_profiler);
+  const bool neutral = last[1].fingerprint == last[0].fingerprint &&
+                       last[1].events == last[0].events &&
+                       par.fingerprint == last[0].fingerprint &&
+                       par.events == last[0].events;
+
+  Table table({"mode", "best wall s", "overhead", "events",
+               "fingerprint"});
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(last[0].fingerprint));
+  table.AddRow({"detached", Table::Num(best[0], 3), "0.00%",
+                Table::Int(last[0].events), fp});
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(last[1].fingerprint));
+  table.AddRow({"attached", Table::Num(best[1], 3),
+                Table::Num(overhead * 100.0, 2) + "%",
+                Table::Int(last[1].events), fp});
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(par.fingerprint));
+  table.AddRow({"attached w=2", Table::Num(par.seconds, 3), "-",
+                Table::Int(par.events), fp});
+  table.Print();
+  std::printf("profiler: %llu windows observed, %llu seam messages, "
+              "slack p99 %llu ns; neutrality: %s\n",
+              static_cast<unsigned long long>(profiler.windows_observed()),
+              static_cast<unsigned long long>(profiler.messages()),
+              static_cast<unsigned long long>(profiler.slack_hist().P99()),
+              neutral ? "schedule byte-identical" : "VIOLATED");
+
+  // Part B: run the breached-SLO workload twice.
+  const WatchOut w1 = RunWatchdog();
+  const WatchOut w2 = RunWatchdog();
+  const bool watchdog_ok = w1.breaches > 0 && w1.breaches == w2.breaches &&
+                           w1.digest == w2.digest && w1.unresolved == 1;
+  std::printf(
+      "watchdog: %llu breaches over %llu samples (run 2: %llu), digest "
+      "%016llx vs %016llx, %zu unresolved spec — %s\n",
+      static_cast<unsigned long long>(w1.breaches),
+      static_cast<unsigned long long>(w1.samples),
+      static_cast<unsigned long long>(w2.breaches),
+      static_cast<unsigned long long>(w1.digest),
+      static_cast<unsigned long long>(w2.digest), w1.unresolved,
+      watchdog_ok ? "deterministic" : "VIOLATION");
+
+  std::FILE* f = std::fopen("BENCH_obs.json", "w");
+  if (f != nullptr) {
+    const ssd::Config config = EngineConfig();
+    std::fprintf(f, "{\n");
+    bench::WriteJsonMeta(f, &config);
+    std::fprintf(f,
+                 "  \"profiler\": {\"detached_seconds\": %.4f, "
+                 "\"attached_seconds\": %.4f, \"overhead\": %.4f, "
+                 "\"neutral\": %s, \"windows\": %llu, \"events\": %llu},\n",
+                 best[0], best[1], overhead, neutral ? "true" : "false",
+                 static_cast<unsigned long long>(
+                     profiler.windows_observed()),
+                 static_cast<unsigned long long>(last[1].events));
+    std::fprintf(f,
+                 "  \"watchdog\": {\"breaches\": %llu, \"digest\": "
+                 "\"%016llx\", \"digest_identical\": %s, "
+                 "\"deterministic\": %s}\n}\n",
+                 static_cast<unsigned long long>(w1.breaches),
+                 static_cast<unsigned long long>(w1.digest),
+                 w1.digest == w2.digest ? "true" : "false",
+                 watchdog_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_obs.json\n");
+  }
+
+  if (!neutral || !watchdog_ok) return 1;
+  std::printf(
+      "shape check: attached profiler overhead %.2f%% (gate: <= 2%%), "
+      "schedule identical on/off, watchdog deterministic.\n",
+      overhead * 100.0);
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/engine_profiler.h"
 #include "ssd/config.h"
 #include "ssd/sharded_backend.h"
 
@@ -55,8 +56,11 @@ ShardedRunConfig BenchRun(std::uint32_t workers,
   return run;
 }
 
-Row RunOnce(std::uint32_t workers, std::uint64_t ios_per_channel) {
-  ShardedFlashSim sim(BenchConfig(), BenchRun(workers, ios_per_channel));
+Row RunOnce(std::uint32_t workers, std::uint64_t ios_per_channel,
+            obs::EngineProfiler* profiler = nullptr) {
+  ShardedRunConfig run = BenchRun(workers, ios_per_channel);
+  run.observer = profiler;
+  ShardedFlashSim sim(BenchConfig(), run);
   const auto t0 = std::chrono::steady_clock::now();
   const SimTime end = sim.Run();
   const auto t1 = std::chrono::steady_clock::now();
@@ -105,6 +109,33 @@ int Main() {
       determinism_ok = false;
     }
   }
+  // Profiled run: attach obs::EngineProfiler at the highest parallel
+  // worker count the bench exercises and hold its fingerprint to the
+  // sequential reference — the attached-observer neutrality bit gate 9
+  // also enforces — then report where the wall time went per shard.
+  obs::EngineProfiler profiler;
+  const Row profiled = RunOnce(worker_counts.back(), kIosPerChannel,
+                               &profiler);
+  const bool profiler_neutral =
+      profiled.fingerprint == seq.fingerprint &&
+      profiled.events == seq.events;
+  std::printf("\nprofiled run (workers=%u, obs::EngineProfiler "
+              "attached): %s\n",
+              worker_counts.back(),
+              profiler_neutral ? "schedule byte-identical"
+                               : "FINGERPRINT MISMATCH");
+  for (std::size_t s = 0; s < profiler.shard_profiles().size(); ++s) {
+    const obs::ShardProfile& p = profiler.shard_profiles()[s];
+    std::printf("  shard %zu: util %.1f%%  busy %.1fms idle %.1fms "
+                "barrier %.1fms  %" PRIu64 " events\n",
+                s, p.Utilization() * 100, p.busy_wall_ns / 1e6,
+                p.idle_wall_ns / 1e6, p.barrier_wall_ns / 1e6, p.events);
+  }
+  const Histogram& slack = profiler.slack_hist();
+  std::printf("  lookahead slack: p50=%" PRIu64 "ns p99=%" PRIu64
+              "ns max=%" PRIu64 "ns over %" PRIu64 " shard-windows\n",
+              slack.P50(), slack.P99(), slack.max(), slack.count());
+
   const double speedup_4w =
       seq.seconds > 0 && rows.back().seconds > 0
           ? seq.seconds / rows.back().seconds
@@ -136,13 +167,41 @@ int Main() {
                  r.rounds, r.fingerprint,
                  static_cast<std::uint64_t>(r.sim_end_ns));
   }
+  std::fprintf(f, "  \"profiler\": {\"neutral\": %s, \"windows\": %" PRIu64
+               ", \"shards\": [\n",
+               profiler_neutral ? "true" : "false",
+               profiler.windows_observed());
+  for (std::size_t s = 0; s < profiler.shard_profiles().size(); ++s) {
+    const obs::ShardProfile& p = profiler.shard_profiles()[s];
+    std::fprintf(f,
+                 "    {\"shard\": %zu, \"utilization\": %.4f, "
+                 "\"busy_ns\": %" PRIu64 ", \"idle_ns\": %" PRIu64
+                 ", \"barrier_ns\": %" PRIu64 ", \"events\": %" PRIu64
+                 "}%s\n",
+                 s, p.Utilization(), p.busy_wall_ns, p.idle_wall_ns,
+                 p.barrier_wall_ns, p.events,
+                 s + 1 < profiler.shard_profiles().size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ], \"lookahead_slack_ns\": {\"count\": %" PRIu64
+               ", \"p50\": %" PRIu64 ", \"p99\": %" PRIu64
+               ", \"max\": %" PRIu64 "}},\n",
+               slack.count(), slack.P50(), slack.P99(), slack.max());
   std::fprintf(f, "  \"determinism_ok\": %s,\n",
                determinism_ok ? "true" : "false");
   std::fprintf(f, "  \"speedup_4w\": %.3f\n", speedup_4w);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_parallel.json\n");
-  return determinism_ok ? 0 : 1;
+
+  // The full git-SHA-stamped profile report rides alongside.
+  const Config cfg = BenchConfig();
+  const Status st = profiler.WriteReport(
+      "BENCH_parallel.profile.json",
+      bench::MetaJsonFields(&cfg, worker_counts.back()));
+  if (st.ok()) std::printf("wrote BENCH_parallel.profile.json\n");
+
+  return determinism_ok && profiler_neutral ? 0 : 1;
 }
 
 }  // namespace

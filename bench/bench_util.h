@@ -32,37 +32,54 @@ inline std::string GitShaShort() {
   return sha.empty() ? "unknown" : sha;
 }
 
+/// Builds the shared meta fields string — git SHA, the worker-thread
+/// count the run used (0 = single-threaded reference path) and the
+/// machine's hardware concurrency — so a scaling number can never be
+/// read without knowing how many cores produced it — plus the device
+/// shape when a config is given and, when >= 0, the tenant/queue
+/// topology the run exercised. The returned string is the *inside* of
+/// a JSON object ("\"git_sha\": ..., ..."), ready to splice into
+/// metrics::TimeSeries::WriteJson or obs::EngineProfiler::WriteReport
+/// meta_fields, or to wrap in braces directly.
+inline std::string MetaJsonFields(const ssd::Config* config = nullptr,
+                                  std::uint32_t workers = 0,
+                                  std::int64_t tenants = -1,
+                                  std::int64_t queues = -1) {
+  char buf[256];
+  std::string out = "\"git_sha\": \"" + GitShaShort() + "\"";
+  std::snprintf(buf, sizeof(buf),
+                ", \"workers\": %u, \"hardware_concurrency\": %u", workers,
+                std::thread::hardware_concurrency());
+  out += buf;
+  if (config != nullptr) {
+    std::snprintf(buf, sizeof(buf), ", \"channels\": %u, \"chips\": %u",
+                  config->geometry.channels, config->geometry.luns());
+    out += buf;
+  }
+  if (tenants >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"tenants\": %lld",
+                  static_cast<long long>(tenants));
+    out += buf;
+  }
+  if (queues >= 0) {
+    std::snprintf(buf, sizeof(buf), ", \"queues\": %lld",
+                  static_cast<long long>(queues));
+    out += buf;
+  }
+  return out;
+}
+
 /// Writes the shared `"meta"` object (followed by a comma) into an open
-/// BENCH_*.json: git SHA, the worker-thread count the run used (0 =
-/// single-threaded reference path) and the machine's hardware
-/// concurrency — so a scaling number can never be read without knowing
-/// how many cores produced it — plus the device shape when a config is
-/// given and, when >= 0, the tenant/queue topology the run exercised
-/// (max vbd tenants multiplexed, mq submission queues), so multi-tenant
-/// and multi-queue artifacts are self-describing. Consumers
-/// (scripts/check_perf.sh) skip the "meta" key when comparing runs.
+/// BENCH_*.json — MetaJsonFields wrapped for the common direct-write
+/// case. Consumers (scripts/check_perf.sh) skip the "meta" key when
+/// comparing runs.
 inline void WriteJsonMeta(std::FILE* f,
                           const ssd::Config* config = nullptr,
                           std::uint32_t workers = 0,
                           std::int64_t tenants = -1,
                           std::int64_t queues = -1) {
-  std::fprintf(f, "  \"meta\": {\"git_sha\": \"%s\"",
-               GitShaShort().c_str());
-  std::fprintf(f, ", \"workers\": %u, \"hardware_concurrency\": %u",
-               workers, std::thread::hardware_concurrency());
-  if (config != nullptr) {
-    std::fprintf(f, ", \"channels\": %u, \"chips\": %u",
-                 config->geometry.channels, config->geometry.luns());
-  }
-  if (tenants >= 0) {
-    std::fprintf(f, ", \"tenants\": %lld",
-                 static_cast<long long>(tenants));
-  }
-  if (queues >= 0) {
-    std::fprintf(f, ", \"queues\": %lld",
-                 static_cast<long long>(queues));
-  }
-  std::fprintf(f, "},\n");
+  std::fprintf(f, "  \"meta\": {%s},\n",
+               MetaJsonFields(config, workers, tenants, queues).c_str());
 }
 
 /// Prints the experiment banner: which paper artifact this regenerates

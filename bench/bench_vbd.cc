@@ -30,6 +30,9 @@
 #include "common/histogram.h"
 #include "common/table.h"
 #include <chrono>
+#include "metrics/metrics.h"
+#include "metrics/sampler.h"
+#include "obs/slo_watchdog.h"
 #include "sim/simulator.h"
 #include "ssd/config.h"
 #include "ftl/ftl.h"
@@ -190,6 +193,9 @@ struct NoisyScene {
   std::uint64_t victim_reads = 0;
   std::uint64_t aggressor_writes = 0;
   std::uint64_t gc_erases = 0;
+  // SLO watchdog observations (slo_bound_ns > 0 runs only).
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t slo_digest = 0;
 };
 
 constexpr std::uint64_t kVictimBlocks = 512;
@@ -200,19 +206,26 @@ constexpr std::uint32_t kVictimDepth = 32;
 /// One deterministic noisy-neighbor scene on a Small flash device.
 /// `with_aggressor` adds the random-write tenant; `qos` turns on the
 /// backend's shared-depth DRR gate (victim weight 64 : aggressor 1).
-NoisyScene RunNoisy(bool with_aggressor, bool qos) {
+/// `slo_bound_ns` > 0 attaches the obs::SloWatchdog on a 2 ms sampling
+/// grid with a p999 bound on the victim's per-window read latency —
+/// read-only observability, so the scene's schedule is unchanged.
+NoisyScene RunNoisy(bool with_aggressor, bool qos,
+                    std::uint64_t slo_bound_ns = 0) {
   sim::Simulator sim;
   ssd::Config dc = ssd::Config::Small();
   ssd::Device dev(&sim, dc);
 
+  metrics::MetricRegistry registry;
   vbd::BackendConfig cfg;
   if (qos) cfg.shared_depth = kVictimDepth;
+  if (slo_bound_ns > 0) cfg.metrics = &registry;
   vbd::Backend backend(&sim, &dev, cfg);
 
   vbd::TenantConfig vc;
   vc.name = "victim";
   vc.capacity_blocks = kVictimBlocks;
   vc.qos_weight = 64;
+  vc.register_metrics = slo_bound_ns > 0;
   vbd::Frontend* victim = backend.CreateTenant(vc).value();
 
   vbd::Frontend* aggressor = nullptr;
@@ -239,6 +252,21 @@ NoisyScene RunNoisy(bool with_aggressor, bool qos) {
   sim.Run();
   const std::uint64_t erases_before = dev.ftl()->counters().Get("gc_erases");
 
+  // The SLO watchdog rides the sampler grid, started only for the
+  // measured mix (the fill traffic above is not part of the objective).
+  std::unique_ptr<metrics::Sampler> sampler;
+  std::unique_ptr<obs::SloWatchdog> watchdog;
+  if (slo_bound_ns > 0) {
+    sampler = std::make_unique<metrics::Sampler>(&sim, &registry,
+                                                 2 * kMillisecond);
+    watchdog = std::make_unique<obs::SloWatchdog>(std::vector<obs::SloSpec>{
+        {"victim read p999", "vbd.victim.read_lat_ns",
+         obs::SloKind::kMaxP999, static_cast<double>(slo_bound_ns),
+         /*min_window_count=*/16}});
+    sampler->set_observer(watchdog.get());
+    sampler->Start();
+  }
+
   workload::RandomPattern vreads(0, kVictimBlocks, /*is_write=*/false, 1,
                                  /*seed=*/5);
   workload::RandomPattern awrites(0, kAggressorBlocks, /*is_write=*/true,
@@ -250,6 +278,7 @@ NoisyScene RunNoisy(bool with_aggressor, bool qos) {
                      /*think_ns=*/0});
   }
   const workload::MixResult mix = workload::RunMultiTenantMix(&sim, loads);
+  if (sampler != nullptr) sampler->Stop();
 
   NoisyScene s;
   s.p999_ns = mix.tenants[0].read_latency.P999();
@@ -258,6 +287,10 @@ NoisyScene RunNoisy(bool with_aggressor, bool qos) {
   s.aggressor_writes =
       aggressor != nullptr ? mix.tenants[1].completed : 0;
   s.gc_erases = dev.ftl()->counters().Get("gc_erases") - erases_before;
+  if (watchdog != nullptr) {
+    s.slo_breaches = watchdog->total_breaches();
+    s.slo_digest = watchdog->Digest();
+  }
   return s;
 }
 
@@ -315,8 +348,12 @@ int main() {
   bench::Section("noisy neighbor (flash, victim reads qd32 vs GC-heavy "
                  "random writes)");
   const NoisyScene solo = RunNoisy(false, false);
-  const NoisyScene noqos = RunNoisy(true, false);
-  const NoisyScene qos = RunNoisy(true, true);
+  // Declare the gate-8 objective as a live SLO: victim per-window read
+  // p999 <= 2x its solo p999, watched by obs::SloWatchdog on both
+  // shared scenes. The unthrottled scene is the intentional breacher.
+  const std::uint64_t slo_bound_ns = 2 * solo.p999_ns;
+  const NoisyScene noqos = RunNoisy(true, false, slo_bound_ns);
+  const NoisyScene qos = RunNoisy(true, true, slo_bound_ns);
   const double ratio_noqos = static_cast<double>(noqos.p999_ns) /
                              static_cast<double>(solo.p999_ns);
   const double ratio_qos = static_cast<double>(qos.p999_ns) /
@@ -342,6 +379,14 @@ int main() {
       "(%.1fx); the DRR admission gate starves the aggressor of device "
       "slots and holds it to %.2fx (< 2x required).\n",
       ratio_noqos, ratio_qos);
+  std::printf(
+      "SLO watchdog (victim window p999 <= %.0f us): %llu breaches "
+      "unthrottled, %llu with QoS (digests %016llx / %016llx)\n",
+      slo_bound_ns / 1e3,
+      static_cast<unsigned long long>(noqos.slo_breaches),
+      static_cast<unsigned long long>(qos.slo_breaches),
+      static_cast<unsigned long long>(noqos.slo_digest),
+      static_cast<unsigned long long>(qos.slo_digest));
 
   // BENCH_vbd.json for gate 8.
   std::FILE* f = std::fopen("BENCH_vbd.json", "w");
@@ -369,11 +414,21 @@ int main() {
                  "  \"noisy\": {\"p999_solo_us\": %.1f, "
                  "\"p999_noqos_us\": %.1f, \"p999_qos_us\": %.1f, "
                  "\"ratio_noqos\": %.3f, \"ratio_qos\": %.3f, "
-                 "\"gc_erases_noqos\": %llu, \"gc_erases_qos\": %llu}\n",
+                 "\"gc_erases_noqos\": %llu, \"gc_erases_qos\": %llu},\n",
                  solo.p999_ns / 1e3, noqos.p999_ns / 1e3,
                  qos.p999_ns / 1e3, ratio_noqos, ratio_qos,
                  static_cast<unsigned long long>(noqos.gc_erases),
                  static_cast<unsigned long long>(qos.gc_erases));
+    std::fprintf(f,
+                 "  \"slo\": {\"bound_ns\": %llu, "
+                 "\"breaches_noqos\": %llu, \"breaches_qos\": %llu, "
+                 "\"digest_noqos\": \"%016llx\", \"digest_qos\": "
+                 "\"%016llx\"}\n",
+                 static_cast<unsigned long long>(slo_bound_ns),
+                 static_cast<unsigned long long>(noqos.slo_breaches),
+                 static_cast<unsigned long long>(qos.slo_breaches),
+                 static_cast<unsigned long long>(noqos.slo_digest),
+                 static_cast<unsigned long long>(qos.slo_digest));
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote BENCH_vbd.json\n");

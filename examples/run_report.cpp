@@ -1,24 +1,35 @@
-// Run report: the metrics subsystem end to end. Runs the paper's
-// Figure-2 GC-interference experiment (aged device, concurrent random
-// writes, latency-probing reads) with the sim-time sampler attached,
-// then renders what a black-box device hides and the simulator sees:
+// Run report: the metrics + observability subsystems end to end. Runs
+// the paper's Figure-2 GC-interference experiment (aged device,
+// concurrent random writes, latency-probing reads) with the traffic
+// multiplexed through two vbd tenants and the sim-time sampler
+// attached, then renders what a black-box device hides and the
+// simulator sees:
 //
 //   1. a per-metric summary table (final cumulative values and rates
 //      for every registered metric);
 //   2. a Figure-2-style timeline: per-window read p99 next to the GC
 //      pages moved in the same window — the latency cliffs line up
 //      with collection activity;
-//   3. the cross-check: final sampled cumulative rows must equal the
-//      stack's always-on Counters (exit 1 otherwise).
+//   3. a per-tenant vbd section: quota usage, DRR share of completed
+//      IOs, per-tenant latency percentiles;
+//   4. the SLO watchdog section: declarative objectives evaluated on
+//      the sampling grid, with breach counts and the first breaches;
+//   5. the cross-check: final sampled cumulative rows must equal the
+//      stack's always-on Counters (exit 1 otherwise);
+//   6. an engine-profiler section: the fig2-class workload again on
+//      sim::ShardedEngine with obs::EngineProfiler attached —
+//      per-shard busy/idle/barrier attribution and lookahead slack.
 //
-// The sampled time series is also written to <prefix>.csv and
-// <prefix>.json (git-SHA stamped) for external plotting:
+// The sampled time series is written to <prefix>.csv and <prefix>.json
+// (git-SHA stamped); the profiler report goes to <prefix>.profile.json
+// and the SLO report to <prefix>.slo.json:
 //
-//   $ ./run_report            # writes run_report.csv / run_report.json
+//   $ ./run_report            # writes run_report.{csv,json,...}
 //   $ ./run_report myrun
 //
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,8 +39,15 @@
 #include "common/table.h"
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
+#include "obs/engine_profiler.h"
+#include "obs/slo_watchdog.h"
 #include "sim/simulator.h"
 #include "ssd/device.h"
+#include "ssd/sharded_backend.h"
+#include "trace/tracer.h"
+#include "vbd/backend.h"
+#include "vbd/frontend.h"
+#include "vbd/vbd.h"
 #include "workload/patterns.h"
 
 using namespace postblock;
@@ -55,29 +73,73 @@ int main(int argc, char** argv) {
 
   sim::Simulator sim;
   metrics::MetricRegistry registry;
+  trace::Tracer tracer(1 << 14);
+  tracer.set_enabled(true);
   ssd::Config cfg = ssd::Config::Small();
   cfg.over_provisioning = 0.10;  // tight spare space keeps GC busy
   cfg.metrics = &registry;
   ssd::Device device(&sim, cfg);
   const std::uint64_t n = device.num_blocks();
 
-  std::printf("aging the device (fill + 2x churn)...\n");
-  bench::FillSequential(&sim, &device, n);
-  workload::RandomPattern churn(0, n, /*is_write=*/true, 1, 99);
-  bench::Precondition(&sim, &device, &churn, 2 * n);
+  // Two tenants split the device: "reader" runs the latency probe,
+  // "churner" the GC-provoking write stream. DRR admission (shared
+  // depth 8, weights 6:1) keeps the probe's device slots protected.
+  vbd::BackendConfig bcfg;
+  bcfg.shared_depth = 8;
+  bcfg.metrics = &registry;
+  bcfg.tracer = &tracer;
+  vbd::Backend backend(&sim, &device, bcfg);
+  vbd::TenantConfig rc;
+  rc.name = "reader";
+  rc.capacity_blocks = n / 2;
+  rc.qos_weight = 6;
+  rc.register_metrics = true;
+  vbd::Frontend* reader = backend.CreateTenant(rc).value();
+  vbd::TenantConfig cc;
+  cc.name = "churner";
+  cc.capacity_blocks = n / 2;
+  cc.qos_weight = 1;
+  cc.register_metrics = true;
+  vbd::Frontend* churner = backend.CreateTenant(cc).value();
+
+  std::printf("aging the device (tenant fills + 2x churn)...\n");
+  workload::SequentialPattern rfill(0, n / 2, /*is_write=*/true);
+  workload::RunClosedLoop(&sim, reader, &rfill, n / 2, 8);
+  workload::SequentialPattern cfill(0, n / 2, /*is_write=*/true);
+  workload::RunClosedLoop(&sim, churner, &cfill, n / 2, 8);
+  workload::RandomPattern churn(0, n / 2, /*is_write=*/true, 1, 99);
+  workload::RunClosedLoop(&sim, churner, &churn, 2 * n, 8);
+  sim.Run();  // drain background GC
+
+  // Declarative objectives, evaluated on every sampling window by the
+  // watchdog (read-only on the grid — the schedule cannot notice it).
+  // The p99 bound is deliberately tight enough that GC cliffs breach
+  // it: the report should *show* the interference, not hide it.
+  obs::SloWatchdog watchdog(std::vector<obs::SloSpec>{
+      {"reader read p99 <= 1.5ms", "vbd.reader.read_lat_ns",
+       obs::SloKind::kMaxP99, 1.5e6, /*min_window_count=*/8},
+      {"reader read p999 <= 4ms", "vbd.reader.read_lat_ns",
+       obs::SloKind::kMaxP999, 4e6, /*min_window_count=*/8},
+      {"device completions >= 1k/s", "dev.completions",
+       obs::SloKind::kMinThroughput, 1e3},
+  });
+  const std::uint32_t health_track =
+      tracer.RegisterTrack(trace::kPidFlash, "health");
+  watchdog.AttachTrace(&tracer, health_track);
 
   // Sample the measured phase only: the timeline is the experiment,
   // not the preconditioning. Cumulative columns still read full-run
   // counters, so the final-row cross-check stays exact.
   metrics::Sampler sampler(&sim, &registry, kIntervalNs);
+  sampler.set_observer(&watchdog);
   sampler.Start();
 
   // Concurrent QD2 random-write stream keeps GC live during the reads.
   auto stop = std::make_shared<bool>(false);
   auto writer = std::make_shared<workload::RandomPattern>(
-      0, n, /*is_write=*/true, 1, 7);
+      0, n / 2, /*is_write=*/true, 1, 7);
   auto issue = std::make_shared<std::function<void()>>();
-  *issue = [&sim, &device, stop, writer, issue]() {
+  *issue = [&sim, churner, stop, writer, issue]() {
     if (*stop) return;
     const workload::IoDesc d = writer->Next();
     blocklayer::IoRequest w;
@@ -88,14 +150,14 @@ int main(int argc, char** argv) {
     w.on_complete = [issue, stop](const blocklayer::IoResult&) {
       if (!*stop) (*issue)();
     };
-    device.Submit(std::move(w));
+    churner->Submit(std::move(w));
   };
   (*issue)();
   (*issue)();
 
   std::printf("running the fig2 experiment (reads vs background GC)...\n\n");
-  workload::RandomPattern reads(0, n, /*is_write=*/false, 1, 8);
-  (void)workload::RunClosedLoop(&sim, &device, &reads, 8000, 4);
+  workload::RandomPattern reads(0, n / 2, /*is_write=*/false, 1, 8);
+  (void)workload::RunClosedLoop(&sim, reader, &reads, 8000, 4);
   *stop = true;
   *issue = nullptr;  // break the self-reference
   sim.Run();
@@ -177,7 +239,76 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- 3. Cross-check: sampled rows vs always-on Counters -------------------
+  // --- 3. Per-tenant vbd section --------------------------------------------
+  std::printf("\nper-tenant vbd (DRR admission, shared depth %u):\n\n",
+              bcfg.shared_depth);
+  {
+    const std::uint64_t total_completed =
+        reader->stats().completed + churner->stats().completed;
+    Table tenants({"tenant", "weight", "quota used", "completed",
+                   "DRR share", "read p99", "write p99"});
+    const auto row = [&](const vbd::Frontend* fe, std::uint32_t weight) {
+      const vbd::TenantStats& st = fe->stats();
+      const double quota_pct =
+          fe->quota_blocks() > 0
+              ? 100.0 * static_cast<double>(fe->quota_used()) /
+                    static_cast<double>(fe->quota_blocks())
+              : 0;
+      const double share =
+          total_completed > 0
+              ? 100.0 * static_cast<double>(st.completed) /
+                    static_cast<double>(total_completed)
+              : 0;
+      tenants.AddRow(
+          {fe->name(), Table::Int(weight),
+           Table::Num(quota_pct, 1) + "%", Table::Int(st.completed),
+           Table::Num(share, 1) + "%",
+           Table::Time(st.read_latency.P99()),
+           Table::Time(st.write_latency.P99())});
+    };
+    row(reader, rc.qos_weight);
+    row(churner, cc.qos_weight);
+    tenants.Print();
+  }
+
+  // --- 4. SLO watchdog section ----------------------------------------------
+  std::printf("\nSLO watchdog (%zu objectives on the %u-ms sampling "
+              "grid):\n\n",
+              watchdog.specs().size(),
+              static_cast<std::uint32_t>(kIntervalNs / kMillisecond));
+  {
+    Table slos({"objective", "metric", "kind", "breaches"});
+    for (std::size_t i = 0; i < watchdog.specs().size(); ++i) {
+      const obs::SloSpec& s = watchdog.specs()[i];
+      slos.AddRow({s.name, s.metric, obs::SloKindName(s.kind),
+                   Table::Int(watchdog.breach_count(
+                       static_cast<std::uint32_t>(i)))});
+    }
+    slos.Print();
+    const std::size_t show = std::min<std::size_t>(
+        watchdog.breaches().size(), 5);
+    for (std::size_t i = 0; i < show; ++i) {
+      const obs::SloBreach& b = watchdog.breaches()[i];
+      std::printf("  breach @%.1f ms: %s observed %.0f (bound %.0f)\n",
+                  static_cast<double>(b.at) / 1e6,
+                  watchdog.specs()[b.slo].name.c_str(), b.observed,
+                  b.bound);
+    }
+    if (watchdog.breaches().size() > show) {
+      std::printf("  ... %zu more (see %s.slo.json)\n",
+                  watchdog.breaches().size() - show, prefix.c_str());
+    }
+    // Every breach also landed on the trace `health` track as a
+    // zero-duration slo_breach marker.
+    std::uint64_t marks = 0;
+    tracer.ForEach([&](const trace::TraceEvent& e) {
+      if (e.stage == trace::Stage::kSlo) ++marks;
+    });
+    std::printf("  health-track markers recorded: %llu\n",
+                static_cast<unsigned long long>(marks));
+  }
+
+  // --- 5. Cross-check: sampled rows vs always-on Counters -------------------
   struct Check {
     const char* metric;
     std::uint64_t sampled;
@@ -196,6 +327,9 @@ int main(int argc, char** argv) {
        device.ftl()->counters().Get("gc_page_moves")},
       {"dev.read_lat_ns.count", ts.FinalU64("dev.read_lat_ns.count"),
        device.read_latency().count()},
+      {"vbd.reader.read_lat_ns.count",
+       ts.FinalU64("vbd.reader.read_lat_ns.count"),
+       reader->stats().read_latency.count()},
   };
   bool ok = true;
   for (const Check& c : checks) {
@@ -214,7 +348,47 @@ int main(int argc, char** argv) {
         std::size(checks));
   }
 
-  // --- 4. Export ------------------------------------------------------------
+  // --- 6. Engine profiler: the same workload class on sharded cores ---------
+  std::printf("\nengine profiler (fig2-class workload on "
+              "sim::ShardedEngine, 4 channels):\n\n");
+  obs::EngineProfiler profiler;
+  {
+    ssd::Config pcfg = ssd::Config::Small();
+    pcfg.geometry.channels = 4;
+    ssd::ShardedRunConfig prun;
+    prun.workers = 2;
+    prun.ios_per_channel = 5000;
+    prun.observer = &profiler;
+    ssd::ShardedFlashSim shsim(pcfg, prun);
+    shsim.Run();
+
+    Table shards({"shard", "role", "utilization", "busy", "idle",
+                  "barrier", "events"});
+    for (std::size_t s = 0; s < profiler.shard_profiles().size(); ++s) {
+      const obs::ShardProfile& p = profiler.shard_profiles()[s];
+      shards.AddRow(
+          {Table::Int(s),
+           s + 1 == profiler.shard_profiles().size() ? "controller"
+                                                     : "channel",
+           Table::Num(p.Utilization() * 100, 1) + "%",
+           Table::Num(p.busy_wall_ns / 1e6, 1) + " ms",
+           Table::Num(p.idle_wall_ns / 1e6, 1) + " ms",
+           Table::Num(p.barrier_wall_ns / 1e6, 1) + " ms",
+           Table::Int(p.events)});
+    }
+    shards.Print();
+    const Histogram& slack = profiler.slack_hist();
+    std::printf(
+        "\nlookahead slack (next-event time past the window floor): "
+        "p50=%s p99=%s over %llu shard-windows, %llu windows, %llu "
+        "seam messages\n",
+        Table::Time(slack.P50()).c_str(), Table::Time(slack.P99()).c_str(),
+        static_cast<unsigned long long>(slack.count()),
+        static_cast<unsigned long long>(profiler.windows_observed()),
+        static_cast<unsigned long long>(profiler.messages()));
+  }
+
+  // --- 7. Export ------------------------------------------------------------
   const std::string csv = prefix + ".csv";
   const std::string json = prefix + ".json";
   const std::string meta = "\"git_sha\": \"" + bench::GitShaShort() +
@@ -225,7 +399,20 @@ int main(int argc, char** argv) {
                  json.c_str());
     return 1;
   }
-  std::printf("wrote %s and %s (%zu samples x %zu columns)\n", csv.c_str(),
-              json.c_str(), ts.rows(), ts.columns().size());
+  const std::string profile = prefix + ".profile.json";
+  if (!profiler.WriteReport(profile, bench::MetaJsonFields(&cfg, 2)).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", profile.c_str());
+    return 1;
+  }
+  const std::string slo_json = prefix + ".slo.json";
+  {
+    std::ofstream f(slo_json, std::ios::trunc);
+    f << "{\n  \"meta\": {" << meta << "},\n  \"slo\": "
+      << watchdog.ReportJson() << "\n}\n";
+  }
+  std::printf(
+      "wrote %s and %s (%zu samples x %zu columns), %s, %s\n",
+      csv.c_str(), json.c_str(), ts.rows(), ts.columns().size(),
+      profile.c_str(), slo_json.c_str());
   return ok ? 0 : 1;
 }

@@ -40,7 +40,13 @@
 #      identically when run twice (determinism at scale), and the
 #      noisy-neighbor victim's p999 with DRR QoS weights on must stay
 #      < 2x its solo-run p999 while the aggressor runs GC-heavy
-#      random writes.
+#      random writes;
+#   9. the observability layer: an attached EngineProfiler (default
+#      window sampling) must cost <= 2% wall clock over the gate-7
+#      sharded workload AND leave the committed schedule byte-identical
+#      to the detached run, and the SloWatchdog must emit a
+#      deterministic breach stream — the intentional-breach workload
+#      must breach (> 0) with an identical digest across two runs.
 #
 # Usage: scripts/check_perf.sh [build-dir]     (default: build-perf)
 set -euo pipefail
@@ -53,7 +59,7 @@ TOLERANCE=0.15
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
   bench_metrics_overhead bench_reliability bench_mq bench_parallel \
-  bench_vbd -j "$(nproc)" >/dev/null
+  bench_vbd bench_obs -j "$(nproc)" >/dev/null
 
 ( cd "$BUILD_DIR" && ./bench/bench_sim_core )
 ( cd "$BUILD_DIR" && ./bench/bench_trace_overhead )
@@ -62,6 +68,7 @@ cmake --build "$BUILD_DIR" --target bench_sim_core bench_trace_overhead \
 ( cd "$BUILD_DIR" && ./bench/bench_mq )
 ( cd "$BUILD_DIR" && ./bench/bench_parallel )
 ( cd "$BUILD_DIR" && ./bench/bench_vbd )
+( cd "$BUILD_DIR" && ./bench/bench_obs )
 RESULT="$BUILD_DIR/BENCH_sim_core.json"
 TRACE_RESULT="$BUILD_DIR/BENCH_trace_overhead.json"
 METRICS_RESULT="$BUILD_DIR/BENCH_metrics_overhead.json"
@@ -70,6 +77,7 @@ MQ_RESULT="$BUILD_DIR/BENCH_mq.json"
 MQ_BASELINE="bench/baselines/mq_baseline.json"
 PARALLEL_RESULT="$BUILD_DIR/BENCH_parallel.json"
 VBD_RESULT="$BUILD_DIR/BENCH_vbd.json"
+OBS_RESULT="$BUILD_DIR/BENCH_obs.json"
 
 if [ ! -f "$BASELINE" ]; then
   mkdir -p "$(dirname "$BASELINE")"
@@ -347,4 +355,46 @@ print("check_perf: OK (vbd: pass-through schedule identical, "
       "256-tenant digest stable, noisy-neighbor p999 with QoS "
       f"{ratio:.2f}x solo < 2x; unthrottled was "
       f"{noisy.get('ratio_noqos', 0):.2f}x)")
+EOF
+
+python3 - "$OBS_RESULT" <<'EOF'
+import json
+import sys
+
+result = json.load(open(sys.argv[1]))
+failures = []
+
+# The observability bargain: an always-on profiler must be free enough
+# to leave attached (window sampling makes it so) and must never touch
+# the schedule it is measuring.
+prof = result.get("profiler", {})
+if not prof.get("neutral", False):
+    failures.append(
+        "attached profiler perturbed the committed schedule "
+        "(fingerprint or event count diverged from the detached run)")
+ovh = prof.get("overhead", 1.0)
+if ovh > 0.02:
+    failures.append(
+        f"attached-profiler overhead {ovh:.1%} exceeds the 2% budget")
+
+# The watchdog's breach stream is an observable of the deterministic
+# sim, so it must be reproducible bit for bit — and the intentional
+# 1ns-p99 / 1e12-ops floor specs must actually fire.
+wd = result.get("watchdog", {})
+if wd.get("breaches", 0) <= 0:
+    failures.append(
+        "intentional-breach SLO specs produced no breaches "
+        "(the watchdog is not evaluating)")
+if not wd.get("digest_identical", False) or not wd.get("deterministic", False):
+    failures.append(
+        "watchdog breach stream diverged across two identical runs")
+
+if failures:
+    print("check_perf: FAIL (observability layer)")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print(f"check_perf: OK (obs: attached-profiler overhead {ovh:.1%} <= 2%, "
+      "schedule byte-identical, watchdog breach stream deterministic "
+      f"({wd.get('breaches')} breaches, digest stable))")
 EOF

@@ -4,9 +4,12 @@
 # Builds with -DSIM_TSAN=ON (mutually exclusive with -DSIM_ASAN=ON; see
 # the top-level CMakeLists.txt) and runs the test binaries that
 # exercise threads — the sharded engine's worker pool, the
-# multi-instance sweep harness, and the vbd suite (whose sharded test
+# multi-instance sweep harness, the vbd suite (whose sharded test
 # drives multi-tenant DRR attribution through the engine's worker
-# pool) — plus bench_parallel at a reduced size. Any data race TSan
+# pool), and the obs suite (EngineProfiler shard scratch is written
+# from worker threads and folded by the coordinator under the engine's
+# ack release/acquire pair) — plus bench_parallel at a reduced size.
+# Any data race TSan
 # finds fails the script: the determinism story is only as good as the
 # absence of unsynchronized sharing at the seam.
 #
@@ -19,7 +22,7 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSIM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
 cmake --build "$BUILD_DIR" --target sharded_sim_test parallel_test \
-  vbd_test bench_parallel -j "$(nproc)" >/dev/null
+  vbd_test obs_test bench_parallel -j "$(nproc)" >/dev/null
 
 # halt_on_error makes the first race fatal instead of a log line the
 # shell would ignore; second_deadlock_stack improves lock reports.
@@ -33,6 +36,9 @@ echo "check_tsan: sweep harness tests (thread-confined full stacks)"
 
 echo "check_tsan: vbd suite (multi-tenant attribution on engine workers)"
 "$BUILD_DIR/tests/vbd_test"
+
+echo "check_tsan: obs suite (profiler scratch written from worker threads)"
+"$BUILD_DIR/tests/obs_test"
 
 echo "check_tsan: bench_parallel (all worker counts, bench-scale load)"
 ( cd "$BUILD_DIR" && ./bench/bench_parallel >/dev/null )

@@ -1,0 +1,65 @@
+#ifndef POSTBLOCK_COMMON_JSON_H_
+#define POSTBLOCK_COMMON_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace postblock {
+
+/// Escapes `s` for embedding inside a JSON string literal. Handles the
+/// two mandatory escapes (quote, backslash) plus control characters
+/// (as \n, \t, \r or \u00XX) — user-supplied names (metric names,
+/// tenant names, trace track names) pass through every exporter via
+/// this, so a tenant called `a"b` can never produce invalid JSON.
+inline std::string JsonEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Escapes `s` as an RFC-4180 CSV field: returned verbatim unless it
+/// contains a comma, quote or newline, in which case it is quoted with
+/// embedded quotes doubled. Used for metric-name header cells, which
+/// may carry user-supplied tenant names.
+inline std::string CsvEscaped(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace postblock
+
+#endif  // POSTBLOCK_COMMON_JSON_H_

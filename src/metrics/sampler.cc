@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace postblock::metrics {
 
 // --- TimeSeries --------------------------------------------------------
@@ -37,7 +39,11 @@ Status TimeSeries::WriteCsv(const std::string& path) const {
     return Status::NotFound("cannot open " + path + " for writing");
   }
   std::fprintf(f, "time_ns");
-  for (const Column& c : cols_) std::fprintf(f, ",%s", c.name.c_str());
+  for (const Column& c : cols_) {
+    // Metric names carry user-supplied tenant names; RFC-4180-quote
+    // them so a comma or quote can't shift the header cells.
+    std::fprintf(f, ",%s", CsvEscaped(c.name).c_str());
+  }
   std::fprintf(f, "\n");
   for (std::size_t r = 0; r < t_.size(); ++r) {
     std::fprintf(f, "%llu", static_cast<unsigned long long>(t_[r]));
@@ -72,7 +78,7 @@ Status TimeSeries::WriteJson(const std::string& path,
   for (std::size_t i = 0; i < cols_.size(); ++i) {
     const Column& c = cols_[i];
     std::fprintf(f, "    \"%s\": {\"kind\": \"%s\", \"values\": [",
-                 c.name.c_str(),
+                 JsonEscaped(c.name).c_str(),
                  c.is_counter ? "counter" : (c.is_float ? "gauge" : "window"));
     for (std::size_t r = 0; r < t_.size(); ++r) {
       if (c.is_float) {
@@ -191,6 +197,9 @@ void Sampler::TakeSample() {
     series_.cols_[k++].u64.push_back(w->P999());
     series_.cols_[k++].u64.push_back(w->max());
     w->Reset();  // interval-reset: next window starts clean
+  }
+  if (observer_ != nullptr) {
+    observer_->OnSample(series_, series_.t_.size() - 1);
   }
 }
 

@@ -57,6 +57,18 @@ class TimeSeries {
   std::vector<Column> cols_;
 };
 
+/// Read-only hook invoked after every sample row lands in the column
+/// store. The observer sees the full series (layout frozen at Start())
+/// plus the index of the row just taken. Implementations must not
+/// schedule events or mutate metrics — the sampler's schedule-
+/// neutrality argument (below) extends to observers only as long as
+/// they stay read-only. obs::SloWatchdog is the canonical impl.
+class SampleObserver {
+ public:
+  virtual ~SampleObserver() = default;
+  virtual void OnSample(const TimeSeries& series, std::size_t row) = 0;
+};
+
 /// Snapshots every registered metric on a fixed sim-clock interval.
 ///
 /// Ticks are ordinary simulator events (they ride the timing wheel),
@@ -104,6 +116,11 @@ class Sampler {
   /// No-op unless parked.
   void Resume();
 
+  /// Attaches a read-only per-row observer (nullptr detaches). Set
+  /// before Start() to observe the baseline row as well.
+  void set_observer(SampleObserver* obs) { observer_ = obs; }
+  SampleObserver* observer() const { return observer_; }
+
   bool started() const { return started_; }
   bool stopped() const { return stopped_; }
   /// True when a tick found nothing else pending and stood down.
@@ -119,6 +136,7 @@ class Sampler {
 
   sim::Simulator* sim_;
   MetricRegistry* registry_;
+  SampleObserver* observer_ = nullptr;
   SimTime interval_;
   SimTime next_ = 0;
   bool started_ = false;

@@ -1,0 +1,209 @@
+#include "obs/slo_watchdog.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+#include "trace/trace.h"
+
+namespace postblock::obs {
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kMaxP50:
+      return "max_p50";
+    case SloKind::kMaxP99:
+      return "max_p99";
+    case SloKind::kMaxP999:
+      return "max_p999";
+    case SloKind::kMaxWindowMax:
+      return "max_window_max";
+    case SloKind::kMinThroughput:
+      return "min_throughput";
+    case SloKind::kMaxGauge:
+      return "max_gauge";
+    case SloKind::kMinGauge:
+      return "min_gauge";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* HistSuffix(SloKind kind) {
+  switch (kind) {
+    case SloKind::kMaxP50:
+      return ".p50";
+    case SloKind::kMaxP99:
+      return ".p99";
+    case SloKind::kMaxP999:
+      return ".p999";
+    case SloKind::kMaxWindowMax:
+      return ".max";
+    default:
+      return nullptr;
+  }
+}
+
+int FindColumn(const metrics::TimeSeries& series, const std::string& name) {
+  const auto& cols = series.columns();
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+SloWatchdog::SloWatchdog(std::vector<SloSpec> specs)
+    : specs_(std::move(specs)),
+      resolved_(specs_.size()),
+      counts_(specs_.size(), 0) {}
+
+void SloWatchdog::AttachTrace(trace::Tracer* tracer, std::uint32_t track) {
+  tracer_ = tracer;
+  track_ = track;
+}
+
+void SloWatchdog::Resolve(const metrics::TimeSeries& series, std::size_t i) {
+  Resolved& r = resolved_[i];
+  r.attempted = true;
+  const SloSpec& spec = specs_[i];
+  if (const char* suffix = HistSuffix(spec.kind)) {
+    r.value_col = FindColumn(series, spec.metric + suffix);
+    r.window_count_col = FindColumn(series, spec.metric + ".window_count");
+  } else {
+    r.value_col = FindColumn(series, spec.metric);
+  }
+}
+
+void SloWatchdog::OnSample(const metrics::TimeSeries& series,
+                           std::size_t row) {
+  const SimTime at = series.timestamps()[row];
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!resolved_[i].attempted) Resolve(series, i);
+    const Resolved& r = resolved_[i];
+    if (r.value_col < 0) continue;
+    const SloSpec& spec = specs_[i];
+    const metrics::Column& col =
+        series.columns()[static_cast<std::size_t>(r.value_col)];
+
+    double observed = 0;
+    bool breach = false;
+    switch (spec.kind) {
+      case SloKind::kMaxP50:
+      case SloKind::kMaxP99:
+      case SloKind::kMaxP999:
+      case SloKind::kMaxWindowMax: {
+        if (r.window_count_col >= 0) {
+          const metrics::Column& wc =
+              series.columns()[static_cast<std::size_t>(r.window_count_col)];
+          if (wc.u64[row] < spec.min_window_count) break;
+        }
+        observed = static_cast<double>(col.u64[row]);
+        breach = observed > spec.bound;
+        break;
+      }
+      case SloKind::kMinThroughput: {
+        // Rate over the actual row spacing: baseline row (row 0) and
+        // zero-dt duplicate rows can't be rated, so they never breach.
+        if (row == 0) break;
+        const SimTime dt = at - series.timestamps()[row - 1];
+        if (dt == 0) break;
+        const std::uint64_t delta = metrics::TimeSeries::DeltaU64(col, row);
+        observed = static_cast<double>(delta) * 1e9 /
+                   static_cast<double>(dt);
+        breach = observed < spec.bound;
+        break;
+      }
+      case SloKind::kMaxGauge:
+        observed = col.f64[row];
+        breach = observed > spec.bound;
+        break;
+      case SloKind::kMinGauge:
+        observed = col.f64[row];
+        breach = observed < spec.bound;
+        break;
+    }
+
+    if (!breach) continue;
+    ++counts_[i];
+    breaches_.push_back(SloBreach{static_cast<std::uint32_t>(i), at,
+                                  observed, spec.bound});
+    if (tracer_ != nullptr) {
+      tracer_->Mark(trace::Stage::kSlo, trace::Origin::kMeta, 0, track_, at,
+                    static_cast<std::uint64_t>(i));
+    }
+  }
+}
+
+std::uint64_t SloWatchdog::unresolved_specs() const {
+  std::uint64_t n = 0;
+  for (const Resolved& r : resolved_) {
+    if (r.attempted && r.value_col < 0) ++n;
+  }
+  return n;
+}
+
+std::uint64_t SloWatchdog::Digest() const {
+  // FNV-1a over the (slo, at, observed-bits) sequence: order-sensitive
+  // so reordered or extra breaches change it.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const SloBreach& b : breaches_) {
+    mix(b.slo);
+    mix(static_cast<std::uint64_t>(b.at));
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(b.observed));
+    __builtin_memcpy(&bits, &b.observed, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+std::string SloWatchdog::ReportJson(std::size_t max_breaches_listed) const {
+  std::string out = "{\n    \"slos\": [\n";
+  char buf[512];
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const SloSpec& s = specs_[i];
+    const bool unresolved = resolved_[i].attempted &&
+                            resolved_[i].value_col < 0;
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"name\": \"%s\", \"metric\": \"%s\", "
+                  "\"kind\": \"%s\", \"bound\": %.6g, \"breaches\": %" PRIu64
+                  "%s}%s\n",
+                  JsonEscaped(s.name).c_str(), JsonEscaped(s.metric).c_str(),
+                  SloKindName(s.kind), s.bound, counts_[i],
+                  unresolved ? ", \"unresolved\": true" : "",
+                  i + 1 < specs_.size() ? "," : "");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "    ],\n    \"total_breaches\": %zu,\n"
+                "    \"digest\": \"%016" PRIx64 "\",\n    \"events\": [\n",
+                breaches_.size(), Digest());
+  out += buf;
+  const std::size_t listed = std::min(breaches_.size(), max_breaches_listed);
+  for (std::size_t i = 0; i < listed; ++i) {
+    const SloBreach& b = breaches_[i];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"slo\": \"%s\", \"at_ns\": %" PRIu64
+                  ", \"observed\": %.6g, \"bound\": %.6g}%s\n",
+                  JsonEscaped(specs_[b.slo].name).c_str(),
+                  static_cast<std::uint64_t>(b.at), b.observed, b.bound,
+                  i + 1 < listed ? "," : "");
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "    ],\n    \"events_truncated\": %zu\n  }",
+                breaches_.size() - listed);
+  out += buf;
+  return out;
+}
+
+}  // namespace postblock::obs

@@ -29,6 +29,7 @@ ShardedFlashSim::ShardedFlashSim(const Config& device_config,
   engine_config.workers = run_.workers;
   engine_config.lookahead = plan_.Lookahead();
   engine_config.fingerprint = run_.fingerprint;
+  engine_config.observer = run_.observer;
   engine_ = std::make_unique<sim::ShardedEngine>(engine_config);
 
   const flash::Geometry& geo = config_.geometry;

@@ -52,6 +52,10 @@ struct ShardedRunConfig {
   /// pure bookkeeping — no extra Rng draws, no schedule change — and
   /// empty (the default) skips it entirely, byte-identical to before.
   std::vector<std::uint32_t> tenant_weights;
+  /// Optional execution observer forwarded to the engine config
+  /// (obs::EngineProfiler). Read-only on the schedule; nullptr (the
+  /// default) keeps the engine wall-clock-free.
+  sim::EngineObserver* observer = nullptr;
 };
 
 /// Sharded flash back-end: the fig2-class GC-interference workload run

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <set>
 
+#include "common/json.h"
+
 namespace postblock::trace {
 
 namespace {
@@ -13,17 +15,21 @@ namespace {
 void AppendMetaEvent(std::string* out, const char* kind, std::uint32_t pid,
                      std::uint32_t tid, const std::string& name,
                      bool thread_level) {
-  char buf[256];
+  // Track and process names carry user-supplied strings (tenant names
+  // end up as track names), so they must be escaped — a tenant called
+  // `a"b` would otherwise truncate the JSON string here.
+  const std::string escaped = JsonEscaped(name);
+  char buf[320];
   if (thread_level) {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
                   "\"args\":{\"name\":\"%s\"}},\n",
-                  kind, pid, tid, name.c_str());
+                  kind, pid, tid, escaped.c_str());
   } else {
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,"
                   "\"args\":{\"name\":\"%s\"}},\n",
-                  kind, pid, name.c_str());
+                  kind, pid, escaped.c_str());
   }
   *out += buf;
 }

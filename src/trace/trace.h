@@ -30,6 +30,7 @@ enum class Stage : std::uint8_t {
   kCellOp,     // array busy: page read/program, block erase, copyback
   kGc,         // a background collection (GC or WL) as its own span
   kApp,        // application-level op (WAL commit / sync persist)
+  kSlo,        // service-objective breach marker (obs::SloWatchdog)
   kCount
 };
 
@@ -53,6 +54,8 @@ inline const char* StageName(Stage s) {
       return "gc";
     case Stage::kApp:
       return "app";
+    case Stage::kSlo:
+      return "slo_breach";
     case Stage::kCount:
       break;
   }
@@ -118,6 +121,11 @@ inline constexpr std::uint32_t kPidFlash = 3;        // channels + LUNs
 /// own process ("tenant-N") — the multi-tenant view the vbd backend
 /// exports.
 inline constexpr std::uint32_t kPidTenantBase = 16;
+/// Wall-clock engine-execution tracks (obs::EngineProfiler) get their
+/// own pid space far above the tenant range, so dual-clock traces can
+/// merge sim-time and wall-time timelines into one Perfetto view
+/// without track collisions.
+inline constexpr std::uint32_t kPidEngineWall = 4096;
 
 inline const char* PidName(std::uint32_t pid) {
   switch (pid) {
@@ -127,6 +135,8 @@ inline const char* PidName(std::uint32_t pid) {
       return "controller";
     case kPidFlash:
       return "flash";
+    case kPidEngineWall:
+      return "engine-wall";
   }
   return pid >= kPidTenantBase ? "tenant" : "?";
 }
@@ -134,7 +144,7 @@ inline const char* PidName(std::uint32_t pid) {
 /// Exporter-facing pid label: layer name for the fixed pids,
 /// "tenant-<slot>" for tenant pids.
 inline std::string PidLabel(std::uint32_t pid) {
-  if (pid >= kPidTenantBase) {
+  if (pid >= kPidTenantBase && pid < kPidEngineWall) {
     return "tenant-" + std::to_string(pid - kPidTenantBase);
   }
   return PidName(pid);
