@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "blocklayer/block_device.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "common/types.h"
 #include "sim/simulator.h"
@@ -46,7 +47,10 @@ inline std::string MetaJsonFields(const ssd::Config* config = nullptr,
                                   std::int64_t tenants = -1,
                                   std::int64_t queues = -1) {
   char buf[256];
-  std::string out = "\"git_sha\": \"" + GitShaShort() + "\"";
+  // The SHA comes from a subprocess; escape it like any other
+  // externally-sourced string so a weird git setup can't emit invalid
+  // JSON into every BENCH_*.json on the machine.
+  std::string out = "\"git_sha\": \"" + JsonEscaped(GitShaShort()) + "\"";
   std::snprintf(buf, sizeof(buf),
                 ", \"workers\": %u, \"hardware_concurrency\": %u", workers,
                 std::thread::hardware_concurrency());

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "metrics/metrics.h"
 #include "metrics/sampler.h"
@@ -391,7 +392,8 @@ int main(int argc, char** argv) {
   // --- 7. Export ------------------------------------------------------------
   const std::string csv = prefix + ".csv";
   const std::string json = prefix + ".json";
-  const std::string meta = "\"git_sha\": \"" + bench::GitShaShort() +
+  const std::string meta = "\"git_sha\": \"" +
+                           JsonEscaped(bench::GitShaShort()) +
                            "\", \"interval_ns\": " +
                            std::to_string(kIntervalNs);
   if (!ts.WriteCsv(csv).ok() || !ts.WriteJson(json, meta).ok()) {

@@ -5,7 +5,7 @@
 // its worker thread, so the aggregated numbers are bitwise identical
 // to running the points one after another.
 //
-//   $ ./sweep [threads] [ops_per_point]
+//   $ ./sweep [threads] [ops_per_point] [report-path]
 //   sweep report -> sweep_report.json
 //
 // See EXPERIMENTS.md E18 for the scaling-curve recipe built on the
@@ -73,6 +73,9 @@ int main(int argc, char** argv) {
                : std::thread::hardware_concurrency();
   const std::uint64_t ops =
       argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 4000;
+  // Overridable so concurrent invocations (CI matrix, side-by-side
+  // comparisons) don't clobber one another's report.
+  const std::string report = argc > 3 ? argv[3] : "sweep_report.json";
 
   const std::vector<double> points = {0.07, 0.125, 0.20, 0.28, 0.40};
   std::vector<sim::SweepJob> jobs;
@@ -111,11 +114,11 @@ int main(int argc, char** argv) {
       ", \"tenants\": 1, \"queues\": 1, \"queue_depth\": 8";
   const std::string json =
       sim::ParallelRunner::SweepReportJson(results, meta);
-  std::FILE* f = std::fopen("sweep_report.json", "w");
+  std::FILE* f = std::fopen(report.c_str(), "w");
   if (f != nullptr) {
     std::fputs(json.c_str(), f);
     std::fclose(f);
-    std::printf("sweep report -> sweep_report.json\n");
+    std::printf("sweep report -> %s\n", report.c_str());
   }
   return 0;
 }

@@ -6,10 +6,12 @@
 # exercise threads — the sharded engine's worker pool, the
 # multi-instance sweep harness, the vbd suite (whose sharded test
 # drives multi-tenant DRR attribution through the engine's worker
-# pool), and the obs suite (EngineProfiler shard scratch is written
+# pool), the obs suite (EngineProfiler shard scratch is written
 # from worker threads and folded by the coordinator under the engine's
-# ack release/acquire pair) — plus bench_parallel at a reduced size.
-# Any data race TSan
+# ack release/acquire pair), and the sharded-device suite (the full
+# controller/FTL/channel stack split across the controller/channel
+# seam) — plus bench_parallel and bench_sharded_device. Any data race
+# TSan
 # finds fails the script: the determinism story is only as good as the
 # absence of unsynchronized sharing at the seam.
 #
@@ -22,7 +24,8 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSIM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
 cmake --build "$BUILD_DIR" --target sharded_sim_test parallel_test \
-  vbd_test obs_test bench_parallel -j "$(nproc)" >/dev/null
+  vbd_test obs_test sharded_device_test bench_parallel \
+  bench_sharded_device -j "$(nproc)" >/dev/null
 
 # halt_on_error makes the first race fatal instead of a log line the
 # shell would ignore; second_deadlock_stack improves lock reports.
@@ -40,7 +43,13 @@ echo "check_tsan: vbd suite (multi-tenant attribution on engine workers)"
 echo "check_tsan: obs suite (profiler scratch written from worker threads)"
 "$BUILD_DIR/tests/obs_test"
 
+echo "check_tsan: sharded device suite (full Device across the seam)"
+"$BUILD_DIR/tests/sharded_device_test"
+
 echo "check_tsan: bench_parallel (all worker counts, bench-scale load)"
 ( cd "$BUILD_DIR" && ./bench/bench_parallel >/dev/null )
+
+echo "check_tsan: bench_sharded_device (full Device, bench-scale load)"
+( cd "$BUILD_DIR" && ./bench/bench_sharded_device >/dev/null )
 
 echo "check_tsan: OK (no data races reported)"

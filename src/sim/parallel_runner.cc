@@ -5,6 +5,8 @@
 #include <exception>
 #include <thread>
 
+#include "common/json.h"
+
 namespace postblock::sim {
 
 std::vector<SweepResult> ParallelRunner::RunAll(
@@ -56,23 +58,6 @@ std::vector<SweepResult> ParallelRunner::RunAll(
   return results;
 }
 
-namespace {
-
-void AppendJsonEscaped(std::string* out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out->push_back('\\');
-      out->push_back(c);
-    } else if (c == '\n') {
-      *out += "\\n";
-    } else {
-      out->push_back(c);
-    }
-  }
-}
-
-}  // namespace
-
 std::string ParallelRunner::SweepReportJson(
     const std::vector<SweepResult>& results,
     const std::string& meta_fields) {
@@ -83,22 +68,22 @@ std::string ParallelRunner::SweepReportJson(
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
     out += "    {\"name\": \"";
-    AppendJsonEscaped(&out, r.name);
+    out += JsonEscaped(r.name);
     out += r.ok ? "\", \"ok\": true" : "\", \"ok\": false";
     if (!r.ok) {
       out += ", \"error\": \"";
-      AppendJsonEscaped(&out, r.error);
+      out += JsonEscaped(r.error);
       out += "\"";
     }
     for (const auto& [key, value] : r.metrics) {
       out += ", \"";
-      AppendJsonEscaped(&out, key);
+      out += JsonEscaped(key);
       std::snprintf(buf, sizeof(buf), "\": %.17g", value);
       out += buf;
     }
     if (!r.note.empty()) {
       out += ", \"note\": \"";
-      AppendJsonEscaped(&out, r.note);
+      out += JsonEscaped(r.note);
       out += "\"";
     }
     out += i + 1 < results.size() ? "},\n" : "}\n";

@@ -1,9 +1,11 @@
 #include "ssd/controller.h"
 
+#include <cassert>
 #include <string>
 #include <utility>
 
 #include "sim/inplace_callback.h"
+#include "ssd/shard_router.h"
 
 namespace postblock::ssd {
 
@@ -13,26 +15,80 @@ Controller::Controller(sim::Simulator* sim, const Config& config)
       flash_(config.geometry, config.timing, config.errors, config.seed),
       tracer_(config.tracer),
       metrics_(config.metrics) {
+  Init(nullptr, {});
+}
+
+Controller::Controller(ShardRouter* router, const Config& config,
+                       const std::vector<trace::Tracer*>& channel_tracers)
+    : sim_(router->controller_sim()),
+      config_(config),
+      flash_(config.geometry, config.timing, config.errors, config.seed),
+      tracer_(config.tracer),
+      metrics_(config.metrics) {
+  // The registry's polled gauges (units busy, channel busy, GC clocks)
+  // read channel-shard state from the sampler's shard — unsupported
+  // until metrics grow a fold-at-rendezvous path.
+  assert(config.metrics == nullptr &&
+         "metrics sampling is not supported on the sharded device");
+  assert(router->plan().channel_shard.size() == config.geometry.channels);
+  Init(router, channel_tracers);
+}
+
+void Controller::Init(ShardRouter* router,
+                      const std::vector<trace::Tracer*>& channel_tracers) {
+  router_ = router;
+  sharded_ = router != nullptr;
   const auto& g = config_.geometry;
+  if (sharded_) {
+    chan_tracers_ = channel_tracers;
+    chan_tracers_.resize(g.channels, nullptr);
+  }
   channels_.reserve(g.channels);
   for (std::uint32_t c = 0; c < g.channels; ++c) {
-    channels_.push_back(std::make_unique<Channel>(sim_, c, config_.timing,
-                                                  g.page_size_bytes));
-    channels_.back()->set_tracer(tracer_);
+    sim::Simulator* chan_sim = sharded_ ? router_->channel_sim(c) : sim_;
+    channels_.push_back(std::make_unique<Channel>(
+        chan_sim, c, config_.timing, g.page_size_bytes));
+    channels_.back()->set_tracer(sharded_ ? chan_tracers_[c] : tracer_);
   }
   units_per_lun_ = config_.plane_parallelism ? g.planes_per_lun : 1;
   units_.reserve(g.luns() * units_per_lun_);
   for (std::uint32_t l = 0; l < g.luns(); ++l) {
+    sim::Simulator* unit_sim =
+        sharded_ ? router_->channel_sim(l / g.luns_per_channel) : sim_;
     for (std::uint32_t p = 0; p < units_per_lun_; ++p) {
       units_.push_back(std::make_unique<sim::Resource>(
-          sim_, "lun-" + std::to_string(l) + "." + std::to_string(p)));
+          unit_sim, "lun-" + std::to_string(l) + "." + std::to_string(p)));
     }
   }
   unit_gc_.resize(units_.size());
+  gc_stall_read_by_chan_.assign(g.channels, 0);
+  gc_stall_write_by_chan_.assign(g.channels, 0);
   injector_ = config_.fault_injector;
   flash_.set_fault_injector(injector_);
   spares_.assign(g.luns(), config_.reliability.spare_blocks_per_lun);
-  if (tracer_ != nullptr) {
+  if (sharded_) {
+    // Per-unit timeline tracks live on the owning channel's ring; the
+    // shared tracer only ever records from the controller shard (health
+    // events, flash array, device spans).
+    bool any = false;
+    for (trace::Tracer* t : chan_tracers_) any = any || t != nullptr;
+    if (any) {
+      unit_tracks_.reserve(units_.size());
+      for (std::uint32_t u = 0; u < units_.size(); ++u) {
+        const std::uint32_t chan =
+            u / (units_per_lun_ * g.luns_per_channel);
+        trace::Tracer* t = chan_tracers_[chan];
+        unit_tracks_.push_back(
+            t == nullptr
+                ? 0
+                : t->RegisterTrack(trace::kPidFlash, units_[u]->name()));
+      }
+    }
+    if (tracer_ != nullptr) {
+      health_track_ = tracer_->RegisterTrack(trace::kPidFlash, "health");
+      flash_.set_tracer(tracer_, sim_);
+    }
+  } else if (tracer_ != nullptr) {
     unit_tracks_.reserve(units_.size());
     for (const auto& u : units_) {
       unit_tracks_.push_back(
@@ -151,8 +207,26 @@ void Controller::StartOp(Op* op, trace::Ctx ctx,
   op->retry = 0;
   op->lun = units_[op->unit].get();
   op->chan = channels_[op->src.channel].get();
-  op->wait_start = op->start;
-  op->gc_mark = unit_gc_[op->unit].Total(op->start);
+  if (!sharded_) {
+    op->sim = sim_;
+    BeginUnitWait(op, phase);
+    return;
+  }
+  // Controller decision made: pre-draw the stuck-busy script (the
+  // injector is consume-once controller state) and ship the op across
+  // the dispatch edge. Everything until EndPipeline runs on the
+  // channel's shard.
+  op->sim = router_->channel_sim(op->src.channel);
+  op->stuck = StuckPenalty(op);
+  auto cross = [this, op, phase] { BeginUnitWait(op, phase); };
+  static_assert(sim::InplaceCallback::fits<decltype(cross)>());
+  router_->Dispatch(op->src.channel, cross);
+}
+
+void Controller::BeginUnitWait(Op* op, void (Controller::*phase)(Op*)) {
+  const SimTime now = op->sim->Now();
+  op->wait_start = now;
+  op->gc_mark = unit_gc_[op->unit].Total(now);
   auto grant = [this, op, phase] {
     OnUnitGrant(op);
     (this->*phase)(op);
@@ -162,7 +236,7 @@ void Controller::StartOp(Op* op, trace::Ctx ctx,
 }
 
 void Controller::OnUnitGrant(Op* op) {
-  const SimTime now = sim_->Now();
+  const SimTime now = op->sim->Now();
   const std::uint64_t wait = now - op->wait_start;
   if (wait > 0) {
     // GC share of the wait = GC-held unit time that elapsed while this
@@ -170,22 +244,22 @@ void Controller::OnUnitGrant(Op* op) {
     std::uint64_t gc_part = unit_gc_[op->unit].Total(now) - op->gc_mark;
     if (gc_part > wait) gc_part = wait;
     if (op->ctx.origin == trace::Origin::kHostRead) {
-      gc_stall_read_ns_ += gc_part;
+      gc_stall_read_by_chan_[op->src.channel] += gc_part;
     } else if (op->ctx.origin == trace::Origin::kHostWrite) {
-      gc_stall_write_ns_ += gc_part;
+      gc_stall_write_by_chan_[op->src.channel] += gc_part;
     }
     if (Traced(op)) {
       const std::uint32_t track = unit_tracks_[op->unit];
       const SimTime split = now - gc_part;
       if (split > op->wait_start) {
-        tracer_->Record(trace::Stage::kQueueWait, op->ctx.origin,
-                        op->ctx.span, op->ctx.parent, track,
-                        op->wait_start, split, op->src.block);
+        TracerFor(op)->Record(trace::Stage::kQueueWait, op->ctx.origin,
+                              op->ctx.span, op->ctx.parent, track,
+                              op->wait_start, split, op->src.block);
       }
       if (gc_part > 0) {
-        tracer_->Record(trace::Stage::kGcStall, op->ctx.origin,
-                        op->ctx.span, op->ctx.parent, track, split, now,
-                        op->src.block);
+        TracerFor(op)->Record(trace::Stage::kGcStall, op->ctx.origin,
+                              op->ctx.span, op->ctx.parent, track, split,
+                              now, op->src.block);
       }
     }
   }
@@ -196,27 +270,41 @@ void Controller::ExitUnit(Op* op) {
   // Runs on every completion path, stale epoch included (the unit
   // resource is likewise always released), so GC occupancy balances.
   if (trace::IsGcOrigin(op->ctx.origin)) {
-    unit_gc_[op->unit].Exit(sim_->Now());
+    unit_gc_[op->unit].Exit(op->sim->Now());
   }
   op->lun->Release();
 }
 
+void Controller::EndPipeline(Op* op, void (Controller::*finish)(Op*)) {
+  ExitUnit(op);
+  if (!sharded_) {
+    (this->*finish)(op);
+    return;
+  }
+  auto cross = [this, op, finish] { (this->*finish)(op); };
+  static_assert(sim::InplaceCallback::fits<decltype(cross)>());
+  router_->Complete(op->src.channel, cross);
+}
+
 void Controller::RecordCellOp(Op* op, SimTime busy_ns) {
   if (!Traced(op)) return;
-  const SimTime now = sim_->Now();
-  tracer_->Record(trace::Stage::kCellOp, op->ctx.origin, op->ctx.span,
-                  op->ctx.parent, unit_tracks_[op->unit], now,
-                  now + busy_ns, op->src.block);
+  const SimTime now = op->sim->Now();
+  TracerFor(op)->Record(trace::Stage::kCellOp, op->ctx.origin,
+                        op->ctx.span, op->ctx.parent,
+                        unit_tracks_[op->unit], now, now + busy_ns,
+                        op->src.block);
 }
 
 std::uint64_t Controller::GcStallReadNs() const {
-  std::uint64_t total = gc_stall_read_ns_;
+  std::uint64_t total = 0;
+  for (std::uint64_t v : gc_stall_read_by_chan_) total += v;
   for (const auto& ch : channels_) total += ch->gc_stall_read_ns();
   return total;
 }
 
 std::uint64_t Controller::GcStallWriteNs() const {
-  std::uint64_t total = gc_stall_write_ns_;
+  std::uint64_t total = 0;
+  for (std::uint64_t v : gc_stall_write_by_chan_) total += v;
   for (const auto& ch : channels_) total += ch->gc_stall_write_ns();
   return total;
 }
@@ -243,22 +331,21 @@ void Controller::ReadArrayPhase(Op* op) {
         static_cast<double>(config_.timing.read_ns) *
         config_.reliability.retry_latency_factor * op->retry);
   }
-  array_read += StuckPenalty(op);
+  array_read += PenaltyOf(op);
   RecordCellOp(op, array_read);
   auto next = [this, op] { ReadTransferPhase(op); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  sim_->Schedule(array_read, next);
+  op->sim->Schedule(array_read, next);
 }
 
 void Controller::ReadTransferPhase(Op* op) {
   // Data transfer: page register -> controller over the shared bus.
-  auto next = [this, op] { FinishRead(op); };
+  auto next = [this, op] { EndPipeline(op, &Controller::FinishRead); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
   op->chan->Transfer(op->ctx, next);
 }
 
 void Controller::FinishRead(Op* op) {
-  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -283,7 +370,7 @@ void Controller::FinishRead(Op* op) {
     ++read_retries_;
     flash_.mutable_counters()->Increment("read_retries");
     if (metrics_ != nullptr) metrics_->Increment(m_read_retries_);
-    if (Traced(op)) {
+    if (TracedHealth(op)) {
       const SimTime now = sim_->Now();
       tracer_->Record(trace::Stage::kCellOp, op->ctx.origin, op->ctx.span,
                       op->ctx.parent, health_track_, now, now + 1,
@@ -307,15 +394,18 @@ void Controller::FinishRead(Op* op) {
 void Controller::RetryRead(Op* op) {
   // Back into the unit's queue: the ladder competes with other work
   // like any op, but keeps its original start time so the final
-  // latency shows the whole tax.
-  op->wait_start = sim_->Now();
-  op->gc_mark = unit_gc_[op->unit].Total(op->wait_start);
-  auto grant = [this, op] {
-    OnUnitGrant(op);
-    ReadArrayPhase(op);
+  // latency shows the whole tax. Sharded mode re-crosses the dispatch
+  // edge — the retry is a fresh firmware command, priced like one.
+  if (!sharded_) {
+    BeginUnitWait(op, &Controller::ReadArrayPhase);
+    return;
+  }
+  op->stuck = StuckPenalty(op);
+  auto cross = [this, op] {
+    BeginUnitWait(op, &Controller::ReadArrayPhase);
   };
-  static_assert(sim::InplaceCallback::fits<decltype(grant)>());
-  op->lun->Acquire(grant);
+  static_assert(sim::InplaceCallback::fits<decltype(cross)>());
+  router_->Dispatch(op->src.channel, cross);
 }
 
 void Controller::NoteCorrectable(const flash::Ppa& ppa) {
@@ -357,15 +447,14 @@ void Controller::ProgramTransferPhase(Op* op) {
 
 void Controller::ProgramArrayPhase(Op* op) {
   // Array program: page register -> cells (LUN busy, bus free).
-  const SimTime busy = config_.timing.program_ns + StuckPenalty(op);
+  const SimTime busy = config_.timing.program_ns + PenaltyOf(op);
   RecordCellOp(op, busy);
-  auto next = [this, op] { FinishProgram(op); };
+  auto next = [this, op] { EndPipeline(op, &Controller::FinishProgram); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  sim_->Schedule(busy, next);
+  op->sim->Schedule(busy, next);
 }
 
 void Controller::FinishProgram(Op* op) {
-  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -417,15 +506,14 @@ void Controller::CopybackCommandPhase(Op* op) {
 
 void Controller::CopybackBusyPhase(Op* op) {
   const SimTime busy =
-      config_.timing.read_ns + config_.timing.program_ns + StuckPenalty(op);
+      config_.timing.read_ns + config_.timing.program_ns + PenaltyOf(op);
   RecordCellOp(op, busy);
-  auto next = [this, op] { FinishCopyback(op); };
+  auto next = [this, op] { EndPipeline(op, &Controller::FinishCopyback); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  sim_->Schedule(busy, next);
+  op->sim->Schedule(busy, next);
 }
 
 void Controller::FinishCopyback(Op* op) {
-  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -466,15 +554,14 @@ void Controller::EraseCommandPhase(Op* op) {
 }
 
 void Controller::EraseBusyPhase(Op* op) {
-  const SimTime busy = config_.timing.erase_ns + StuckPenalty(op);
+  const SimTime busy = config_.timing.erase_ns + PenaltyOf(op);
   RecordCellOp(op, busy);
-  auto next = [this, op] { FinishErase(op); };
+  auto next = [this, op] { EndPipeline(op, &Controller::FinishErase); };
   static_assert(sim::InplaceCallback::fits<decltype(next)>());
-  sim_->Schedule(busy, next);
+  op->sim->Schedule(busy, next);
 }
 
 void Controller::FinishErase(Op* op) {
-  ExitUnit(op);
   if (op->epoch != epoch_) {  // power-cycled away
     ReleaseOp(op);
     return;
@@ -494,7 +581,7 @@ void Controller::FinishErase(Op* op) {
     // no longer replace capacity, so the device fails safe: read-only.
     ++blocks_retired_;
     if (metrics_ != nullptr) metrics_->Increment(m_blocks_retired_);
-    if (Traced(op)) {
+    if (TracedHealth(op)) {
       const SimTime now = sim_->Now();
       tracer_->Record(trace::Stage::kCellOp, op->ctx.origin, op->ctx.span,
                       op->ctx.parent, health_track_, now, now + 1,

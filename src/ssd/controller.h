@@ -22,6 +22,8 @@
 
 namespace postblock::ssd {
 
+class ShardRouter;
+
 /// The timed flash back-end (Figure 2, lower half): owns the flash
 /// array, one bus Resource per channel and one serial Resource per LUN,
 /// and composes them into timed page operations:
@@ -33,9 +35,33 @@ namespace postblock::ssd {
 /// The asymmetry is the mechanism behind the paper's Figure 1: parallel
 /// reads pile up on the shared channel (channel-bound) while parallel
 /// programs overlap their long array-program phases (chip-bound).
+///
+/// Two execution modes share every phase method:
+///
+///   single-sim (first ctor): channels, units and the firmware all live
+///   on one Simulator — the pre-existing behaviour, event-for-event.
+///
+///   sharded (second ctor): the firmware (flash array, FTL callbacks,
+///   op pool, latency accounting, reliability state) stays on the
+///   plan's controller shard, while each channel's bus Resource, unit
+///   Resources and GC occupancy clocks live on that channel's shard.
+///   Ops cross the seam exactly twice — ShardRouter::Dispatch after the
+///   controller stamps the op, ShardRouter::Complete after the timed
+///   pipeline releases its unit — so all shared mutable state remains
+///   single-shard and the committed schedule is worker-count invariant
+///   (DESIGN.md §4i has the full ownership table).
 class Controller {
  public:
   Controller(sim::Simulator* sim, const Config& config);
+
+  /// Sharded mode: timed pipelines on per-channel shards, firmware on
+  /// the controller shard. `channel_tracers` (optional) gives channel
+  /// shard c its own trace ring — the shared config tracer only ever
+  /// records from the controller shard, so per-unit timeline events
+  /// need per-shard rings (pass none to skip them). config.metrics must
+  /// be null: the registry's polled gauges read channel-shard state.
+  Controller(ShardRouter* router, const Config& config,
+             const std::vector<trace::Tracer*>& channel_tracers = {});
 
   Controller(const Controller&) = delete;
   Controller& operator=(const Controller&) = delete;
@@ -170,11 +196,19 @@ class Controller {
     std::uint64_t epoch = 0;
     sim::Resource* lun = nullptr;
     Channel* chan = nullptr;
+    /// The simulator the op's timed phases run on: sim_ in single-sim
+    /// mode, the owning channel's shard sim in sharded mode.
+    sim::Simulator* sim = nullptr;
     ReadCallback read_cb;
     OpCallback op_cb;
     trace::Ctx ctx;
     SimTime wait_start = 0;      // when the op began waiting on its unit
     std::uint64_t gc_mark = 0;   // unit GC-busy integral at wait start
+    /// Scripted stuck-busy penalty, pre-drawn on the controller shard
+    /// at dispatch (the injector's script is consume-once state, so the
+    /// channel shards may never touch it). Single-sim mode keeps the
+    /// in-phase draw and leaves this 0.
+    SimTime stuck = 0;
     std::uint32_t unit = 0;
     std::uint32_t retry = 0;     // read-retry ladder rung (0 = first try)
   };
@@ -184,15 +218,41 @@ class Controller {
 
   /// Common entry for an op: stamps identity/wait state and requests
   /// the serial unit; `phase` runs on grant, after wait attribution.
+  /// Sharded mode routes the unit request through the dispatch edge.
   void StartOp(Op* op, trace::Ctx ctx, void (Controller::*phase)(Op*));
+  /// Stamps wait state and requests the serial unit. Single-sim mode
+  /// calls it inline from StartOp; sharded mode runs it as the
+  /// dispatch-edge event on the op's channel shard.
+  void BeginUnitWait(Op* op, void (Controller::*phase)(Op*));
   /// Splits the just-ended unit wait into queue vs GC-stall, updates
   /// the stall counters, and marks the unit GC-busy for GC-origin ops.
   void OnUnitGrant(Op* op);
   void ExitUnit(Op* op);
+  /// Releases the unit and hands the op to its Finish* method: inline
+  /// in single-sim mode, across the completion edge in sharded mode
+  /// (the Finish methods mutate controller-shard state).
+  void EndPipeline(Op* op, void (Controller::*finish)(Op*));
+  /// The tracer that owns this op's unit timeline: the shared tracer in
+  /// single-sim mode, the op's channel-shard ring in sharded mode.
+  trace::Tracer* TracerFor(const Op* op) const {
+    return sharded_ ? chan_tracers_[op->src.channel] : tracer_;
+  }
   bool Traced(const Op* op) const {
+    trace::Tracer* t = TracerFor(op);
+    return t != nullptr && t->enabled() && op->ctx.span != 0;
+  }
+  /// Health-track events record on the shared tracer from the
+  /// controller shard (Finish* context), in both modes.
+  bool TracedHealth(const Op* op) const {
     return tracer_ != nullptr && tracer_->enabled() && op->ctx.span != 0;
   }
   void RecordCellOp(Op* op, SimTime busy_ns);
+  /// The op's stuck-busy penalty: pre-drawn in sharded mode, drawn
+  /// in-phase otherwise (identical values — the injector script is
+  /// keyed by LUN and consumed in the same per-LUN order either way).
+  SimTime PenaltyOf(Op* op) {
+    return sharded_ ? op->stuck : StuckPenalty(op);
+  }
   /// Registers the flash-backend metric streams (cold path, ctor).
   void RegisterMetrics();
 
@@ -221,9 +281,16 @@ class Controller {
     return global_lun * units_per_lun_ + plane % units_per_lun_;
   }
 
-  sim::Simulator* sim_;
+  /// Shared ctor body; `router` is null in single-sim mode.
+  void Init(ShardRouter* router,
+            const std::vector<trace::Tracer*>& channel_tracers);
+
+  sim::Simulator* sim_;  // the controller/firmware event loop
   Config config_;
   flash::FlashArray flash_;
+  ShardRouter* router_ = nullptr;  // non-null iff sharded mode
+  bool sharded_ = false;
+  std::vector<trace::Tracer*> chan_tracers_;  // sharded: ring per channel
   std::vector<std::unique_ptr<Channel>> channels_;
   std::uint32_t units_per_lun_ = 1;
   std::vector<std::unique_ptr<sim::Resource>> units_;
@@ -246,8 +313,12 @@ class Controller {
   std::vector<std::uint32_t> unit_tracks_;   // trace track per unit
   std::uint32_t health_track_ = 0;           // retry/retirement events
   std::vector<trace::BusyClock> unit_gc_;    // GC occupancy per unit
-  std::uint64_t gc_stall_read_ns_ = 0;       // unit-level only; accessor
-  std::uint64_t gc_stall_write_ns_ = 0;      //   adds channel-level
+  // Unit-level GC stall, split per channel so each accumulator is only
+  // ever written by the shard that owns the unit's channel (the
+  // accessors sum them and add the channel/bus level; in sharded mode
+  // read them only between engine runs).
+  std::vector<std::uint64_t> gc_stall_read_by_chan_;
+  std::vector<std::uint64_t> gc_stall_write_by_chan_;
 
   // Reliability state. All of it is only touched on error paths (plus
   // one pointer test per op), so clean runs stay schedule-identical.

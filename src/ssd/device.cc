@@ -7,6 +7,7 @@
 #include "ftl/block_ftl.h"
 #include "ftl/dftl.h"
 #include "ftl/hybrid_ftl.h"
+#include "ssd/shard_router.h"
 
 namespace postblock::ssd {
 
@@ -26,10 +27,30 @@ std::unique_ptr<ftl::Ftl> MakeFtl(Controller* controller) {
 
 Device::Device(sim::Simulator* sim, const Config& config)
     : sim_(sim), config_(config), tracer_(config.tracer) {
+  // Track order is part of the trace contract: the device track
+  // precedes every controller track, in both ctors.
   if (tracer_ != nullptr) {
     dev_track_ = tracer_->RegisterTrack(trace::kPidHost, "ssd-device");
   }
   controller_ = std::make_unique<Controller>(sim, config_);
+  Init();
+}
+
+Device::Device(ShardRouter* router, const Config& config,
+               const std::vector<trace::Tracer*>& channel_tracers)
+    : sim_(router->controller_sim()),
+      router_(router),
+      config_(config),
+      tracer_(config.tracer) {
+  if (tracer_ != nullptr) {
+    dev_track_ = tracer_->RegisterTrack(trace::kPidHost, "ssd-device");
+  }
+  controller_ =
+      std::make_unique<Controller>(router, config_, channel_tracers);
+  Init();
+}
+
+void Device::Init() {
   ftl_ = MakeFtl(controller_.get());
   page_ftl_ = dynamic_cast<ftl::PageFtl*>(ftl_.get());
   if (config_.write_buffer.pages > 0) {

@@ -28,6 +28,18 @@ namespace postblock::ssd {
 class Device : public blocklayer::BlockDevice {
  public:
   Device(sim::Simulator* sim, const Config& config);
+
+  /// Sharded mode: the firmware (this object, the FTL, the write
+  /// buffer, all latency/counter state) lives on the router's
+  /// controller shard; each channel's bus and LUN resources live on
+  /// that channel's shard, with GC relocation traffic riding the same
+  /// dispatch/completion edges as host ops. Submit()/Execute() must be
+  /// called from controller-shard event context (or before the engine
+  /// runs); introspection accessors are safe between engine runs. The
+  /// committed schedule is byte-identical at every engine worker count.
+  Device(ShardRouter* router, const Config& config,
+         const std::vector<trace::Tracer*>& channel_tracers = {});
+
   ~Device() override = default;
 
   Device(const Device&) = delete;
@@ -59,7 +71,10 @@ class Device : public blocklayer::BlockDevice {
   }
 
   // --- Introspection ------------------------------------------------
+  /// The firmware's event loop (the controller shard's in sharded mode).
   sim::Simulator* sim() { return sim_; }
+  /// Non-null iff this device runs on a sharded engine.
+  ShardRouter* router() { return router_; }
   const Config& config() const { return config_; }
   Controller* controller() { return controller_.get(); }
   ftl::Ftl* ftl() { return ftl_.get(); }
@@ -96,7 +111,11 @@ class Device : public blocklayer::BlockDevice {
 
   bool Traced() const { return tracer_ != nullptr && tracer_->enabled(); }
 
+  /// Shared ctor body (FTL, write buffer, metrics, trace track).
+  void Init();
+
   sim::Simulator* sim_;
+  ShardRouter* router_ = nullptr;  // non-null iff sharded mode
   Config config_;
   std::uint64_t epoch_ = 0;  // bumped by PowerCycle; drops stale events
   std::unique_ptr<Controller> controller_;
