@@ -167,7 +167,7 @@ void NamelessExperiment() {
   ssd::Config cfg = ssd::Config::Small();
   cfg.geometry.blocks_per_plane = 64;
   ssd::Device device(&sim, cfg);
-  core::NamelessStore store(&sim, device.page_ftl());
+  core::NamelessStore store(&sim, &device);
   std::uint64_t migrations = 0;
   store.SetMigrationHandler(
       [&](core::NamelessStore::Name, core::NamelessStore::Name) {

@@ -10,8 +10,11 @@
 # from worker threads and folded by the coordinator under the engine's
 # ack release/acquire pair), and the sharded-device suite (the full
 # controller/FTL/channel stack split across the controller/channel
-# seam) — plus bench_parallel and bench_sharded_device. Any data race
-# TSan
+# seam), and the vision-recovery suite (the post-block append device,
+# host map, and epoch-checkpoint recovery — single-threaded by
+# construction, but ran here so the nameless path can never regress
+# into hidden sharing) — plus bench_parallel, bench_sharded_device and
+# bench_crossover. Any data race TSan
 # finds fails the script: the determinism story is only as good as the
 # absence of unsynchronized sharing at the seam.
 #
@@ -24,8 +27,9 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSIM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   >/dev/null
 cmake --build "$BUILD_DIR" --target sharded_sim_test parallel_test \
-  vbd_test obs_test sharded_device_test bench_parallel \
-  bench_sharded_device -j "$(nproc)" >/dev/null
+  vbd_test obs_test sharded_device_test vision_recovery_test \
+  bench_parallel bench_sharded_device bench_crossover \
+  -j "$(nproc)" >/dev/null
 
 # halt_on_error makes the first race fatal instead of a log line the
 # shell would ignore; second_deadlock_stack improves lock reports.
@@ -46,10 +50,16 @@ echo "check_tsan: obs suite (profiler scratch written from worker threads)"
 echo "check_tsan: sharded device suite (full Device across the seam)"
 "$BUILD_DIR/tests/sharded_device_test"
 
+echo "check_tsan: vision recovery suite (post-block append device + host map)"
+"$BUILD_DIR/tests/vision_recovery_test"
+
 echo "check_tsan: bench_parallel (all worker counts, bench-scale load)"
 ( cd "$BUILD_DIR" && ./bench/bench_parallel >/dev/null )
 
 echo "check_tsan: bench_sharded_device (full Device, bench-scale load)"
 ( cd "$BUILD_DIR" && ./bench/bench_sharded_device >/dev/null )
+
+echo "check_tsan: bench_crossover (classic vs vision wiring, bench-scale load)"
+( cd "$BUILD_DIR" && ./bench/bench_crossover >/dev/null )
 
 echo "check_tsan: OK (no data races reported)"

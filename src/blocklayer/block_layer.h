@@ -128,6 +128,16 @@ class BlockLayer : public BlockDevice {
   /// command it cannot name, which is the paper's point.
   void Execute(host::Command cmd) override;
   bool Supports(host::CommandKind kind) const override;
+  /// Capability discovery and migration handling are pure pass-through:
+  /// this layer adds nothing to either (only its own mask bits).
+  host::DeviceCaps Caps() const override {
+    host::DeviceCaps caps = lower_->Caps();
+    caps.command_mask = CapabilityMask();
+    return caps;
+  }
+  void SetMigrationHandler(host::MigrationHandler handler) override {
+    lower_->SetMigrationHandler(std::move(handler));
+  }
 
   const Histogram& latency() const { return latency_; }
   const IoScheduler& scheduler(std::uint32_t q) const {

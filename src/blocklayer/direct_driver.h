@@ -38,6 +38,16 @@ class DirectDriver : public BlockDevice {
   /// direct path exists precisely to not stand between host and device.
   void Execute(host::Command cmd) override;
   bool Supports(host::CommandKind kind) const override;
+  /// Capability discovery and migration handling pass straight through
+  /// (the driver only restates its own command mask).
+  host::DeviceCaps Caps() const override {
+    host::DeviceCaps caps = lower_->Caps();
+    caps.command_mask = CapabilityMask();
+    return caps;
+  }
+  void SetMigrationHandler(host::MigrationHandler handler) override {
+    lower_->SetMigrationHandler(std::move(handler));
+  }
 
   const Histogram& latency() const { return latency_; }
   double CpuUtilization() const { return cpu_res_.Utilization(); }

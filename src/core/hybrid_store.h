@@ -73,6 +73,17 @@ class HybridStore : public host::HostInterface {
   bool Supports(host::CommandKind kind) const override {
     return data_path_->Supports(kind);
   }
+  /// Capability discovery: the data path's caps, plus the one thing
+  /// this layer adds that no device below can claim — a synchronous
+  /// byte-granular PCM persistence path (vision mode).
+  host::DeviceCaps Caps() const override {
+    host::DeviceCaps caps = data_path_->Caps();
+    caps.pcm_sync = vision_mode();
+    return caps;
+  }
+  void SetMigrationHandler(host::MigrationHandler handler) override {
+    data_path_->SetMigrationHandler(std::move(handler));
+  }
 
   /// Stream classification for queue pinning: classic-mode SyncPersist
   /// log write+flush carry `wal_stream`; unclassified async requests

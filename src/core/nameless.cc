@@ -4,90 +4,83 @@
 
 namespace postblock::core {
 
-NamelessStore::NamelessStore(sim::Simulator* sim, ftl::PageFtl* ftl)
-    : sim_(sim), ftl_(ftl) {
-  for (Lba slot = 0; slot < ftl_->user_pages(); ++slot) {
-    free_slots_.push_back(slot);
-  }
-  ftl_->SetMigrationListener(
-      [this](Lba lba, flash::Ppa from, flash::Ppa to) {
-        OnMigration(lba, from, to);
-      });
-}
-
-void NamelessStore::Write(std::uint64_t token,
-                          std::function<void(StatusOr<Name>)> cb) {
-  if (free_slots_.empty()) {
-    sim_->Schedule(0, [cb = std::move(cb)]() {
-      cb(Status::ResourceExhausted("nameless store full"));
-    });
-    return;
-  }
-  const Lba slot = free_slots_.front();
-  free_slots_.pop_front();
-  counters_.Increment("writes");
-  ftl_->Write(slot, token, [this, slot, cb = std::move(cb)](Status st) {
-    if (!st.ok()) {
-      free_slots_.push_back(slot);
-      cb(std::move(st));
-      return;
-    }
-    const auto ppa = ftl_->Locate(slot);
-    if (!ppa.has_value()) {
-      free_slots_.push_back(slot);
-      cb(Status::Internal("nameless write left no mapping"));
-      return;
-    }
-    const Name name =
-        ppa->Flatten(ftl_->controller()->config().geometry);
-    name_to_slot_[name] = slot;
-    slot_to_name_[slot] = name;
-    cb(name);
+NamelessStore::NamelessStore(sim::Simulator* sim, host::HostInterface* dev)
+    : sim_(sim), dev_(dev), supported_(dev->Caps().nameless) {
+  dev_->SetMigrationHandler([this](Name old_name, Name new_name) {
+    OnMigration(old_name, new_name);
   });
 }
 
+void NamelessStore::Write(std::uint64_t token,
+                          std::function<void(StatusOr<Name>)> cb,
+                          trace::Ctx ctx) {
+  counters_.Increment("writes");
+  host::Command cmd = host::Command::NamelessWrite(
+      token,
+      blocklayer::IoCallback(
+          [this, cb = std::move(cb)](const blocklayer::IoResult& res) {
+            if (!res.status.ok()) {
+              cb(res.status);
+              return;
+            }
+            if (res.tokens.empty()) {
+              cb(Status::Internal("nameless write returned no name"));
+              return;
+            }
+            names_.insert(res.tokens[0]);
+            cb(res.tokens[0]);
+          }));
+  cmd.span = ctx.span;
+  dev_->Execute(std::move(cmd));
+}
+
 void NamelessStore::Read(Name name,
-                         std::function<void(StatusOr<std::uint64_t>)> cb) {
-  auto it = name_to_slot_.find(name);
-  if (it == name_to_slot_.end()) {
+                         std::function<void(StatusOr<std::uint64_t>)> cb,
+                         trace::Ctx ctx) {
+  if (names_.find(name) == names_.end()) {
     sim_->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::NotFound("unknown name"));
     });
     return;
   }
   counters_.Increment("reads");
-  ftl_->Read(it->second, std::move(cb));
+  host::Command cmd = host::Command::NamelessRead(
+      name, blocklayer::IoCallback(
+                [cb = std::move(cb)](const blocklayer::IoResult& res) {
+                  if (!res.status.ok()) {
+                    cb(res.status);
+                    return;
+                  }
+                  cb(res.tokens.empty() ? 0 : res.tokens[0]);
+                }));
+  cmd.span = ctx.span;
+  dev_->Execute(std::move(cmd));
 }
 
-void NamelessStore::Free(Name name, std::function<void(Status)> cb) {
-  auto it = name_to_slot_.find(name);
-  if (it == name_to_slot_.end()) {
+void NamelessStore::Free(Name name, std::function<void(Status)> cb,
+                         trace::Ctx ctx) {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
     sim_->Schedule(0, [cb = std::move(cb)]() {
       cb(Status::NotFound("unknown name"));
     });
     return;
   }
-  const Lba slot = it->second;
-  name_to_slot_.erase(it);
-  slot_to_name_.erase(slot);
+  names_.erase(it);
   counters_.Increment("frees");
-  ftl_->Trim(slot, [this, slot, cb = std::move(cb)](Status st) {
-    free_slots_.push_back(slot);
-    cb(std::move(st));
-  });
+  host::Command cmd = host::Command::NamelessFree(
+      name, blocklayer::IoCallback(
+                [cb = std::move(cb)](const blocklayer::IoResult& res) {
+                  cb(res.status);
+                }));
+  cmd.span = ctx.span;
+  dev_->Execute(std::move(cmd));
 }
 
-void NamelessStore::OnMigration(Lba lba, flash::Ppa from, flash::Ppa to) {
-  auto it = slot_to_name_.find(lba);
-  if (it == slot_to_name_.end()) return;
-  const auto& geometry = ftl_->controller()->config().geometry;
-  const Name old_name = from.Flatten(geometry);
-  const Name new_name = to.Flatten(geometry);
-  if (it->second != old_name) return;  // stale notification
+void NamelessStore::OnMigration(Name old_name, Name new_name) {
+  if (names_.erase(old_name) == 0) return;  // not ours / stale
+  names_.insert(new_name);
   counters_.Increment("migrations");
-  it->second = new_name;
-  name_to_slot_.erase(old_name);
-  name_to_slot_[new_name] = lba;
   if (handler_) handler_(old_name, new_name);
 }
 

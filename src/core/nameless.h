@@ -2,15 +2,15 @@
 #define POSTBLOCK_CORE_NAMELESS_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/statusor.h"
-#include "ftl/page_ftl.h"
+#include "host/command.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace postblock::core {
 
@@ -21,47 +21,64 @@ namespace postblock::core {
 /// allocation map, and — because device and host are now communicating
 /// peers — the device *calls back* when GC or wear leveling moves a
 /// page, so the host can update its name.
+///
+/// This is a pure host-side client of the typed command API: every
+/// operation is a host::Command through HostInterface::Execute, so the
+/// same store runs over a page-map device (which emulates names over
+/// hidden LBA slots) or a vision-append device (where a name *is* the
+/// physical address) — and over any layer stack in between, since the
+/// layers pass the nameless vocabulary through. Device-side slot or
+/// append bookkeeping is the device's business, not this class's.
 class NamelessStore {
  public:
-  /// An opaque device-issued name (here: the flattened physical page
-  /// address at grant time).
+  /// An opaque device-issued name.
   using Name = std::uint64_t;
 
   /// Fired when the device relocates a named page: (old name, new name).
   using MigrationHandler = std::function<void(Name, Name)>;
 
-  explicit NamelessStore(sim::Simulator* sim, ftl::PageFtl* ftl);
+  /// `dev` is any stack speaking the typed API. The store probes
+  /// capabilities once (Caps().nameless) instead of reading device
+  /// configs; on a stack without nameless support every operation
+  /// completes with the stack's typed Unimplemented.
+  NamelessStore(sim::Simulator* sim, host::HostInterface* dev);
 
   NamelessStore(const NamelessStore&) = delete;
   NamelessStore& operator=(const NamelessStore&) = delete;
 
-  /// Writes one page anywhere; the callback delivers its name.
-  void Write(std::uint64_t token, std::function<void(StatusOr<Name>)> cb);
+  /// Writes one page anywhere; the callback delivers its name. `ctx`
+  /// threads the caller's trace identity into the command.
+  void Write(std::uint64_t token, std::function<void(StatusOr<Name>)> cb,
+             trace::Ctx ctx = {});
 
   /// Reads a page by name.
-  void Read(Name name, std::function<void(StatusOr<std::uint64_t>)> cb);
+  void Read(Name name, std::function<void(StatusOr<std::uint64_t>)> cb,
+            trace::Ctx ctx = {});
 
   /// Releases a named page (the trim analogue).
-  void Free(Name name, std::function<void(Status)> cb);
+  void Free(Name name, std::function<void(Status)> cb,
+            trace::Ctx ctx = {});
 
   void SetMigrationHandler(MigrationHandler handler) {
     handler_ = std::move(handler);
   }
 
+  /// Did the capability probe find a device that speaks nameless?
+  bool device_supported() const { return supported_; }
+
   /// Pages currently named.
-  std::size_t live() const { return name_to_slot_.size(); }
+  std::size_t live() const { return names_.size(); }
   const Counters& counters() const { return counters_; }
 
  private:
-  void OnMigration(Lba lba, flash::Ppa from, flash::Ppa to);
+  void OnMigration(Name old_name, Name new_name);
 
   sim::Simulator* sim_;
-  ftl::PageFtl* ftl_;
-  /// Internal slot pool: the device-side bookkeeping a nameless FTL
-  /// still needs (one slot per live page, not per LBA).
-  std::deque<Lba> free_slots_;
-  std::unordered_map<Name, Lba> name_to_slot_;
-  std::unordered_map<Lba, Name> slot_to_name_;
+  host::HostInterface* dev_;
+  bool supported_ = false;
+  /// The host's view: the set of names it holds. (What the names *mean*
+  /// physically is the device's concern.)
+  std::unordered_set<Name> names_;
   MigrationHandler handler_;
   Counters counters_;
 };

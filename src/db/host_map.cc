@@ -1,0 +1,251 @@
+#include "db/host_map.h"
+
+#include <memory>
+#include <utility>
+
+namespace postblock::db {
+
+HostMap::HostMap(sim::Simulator* sim, host::HostInterface* dev,
+                 std::uint64_t num_pages, std::uint32_t page_bytes)
+    : sim_(sim), dev_(dev), num_pages_(num_pages),
+      page_bytes_(page_bytes) {
+  // The peer channel: the device tells us about every page it moves,
+  // before the old name can go stale under a future read.
+  dev_->SetMigrationHandler(
+      [this](std::uint64_t old_name, std::uint64_t new_name) {
+        OnMigration(old_name, new_name);
+      });
+}
+
+void HostMap::Submit(blocklayer::IoRequest request) {
+  counters_.Increment("requests");
+  if (request.op == blocklayer::IoOp::kFlush) {
+    auto done = std::make_shared<blocklayer::IoCallback>(
+        std::move(request.on_complete));
+    host::Command f = host::Command::Flush(
+        [done](const blocklayer::IoResult& res) {
+          if (*done) (*done)(blocklayer::IoResult{res.status, {}});
+        });
+    f.span = request.span;
+    dev_->Execute(std::move(f));
+    return;
+  }
+  if (request.nblocks == 0) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(blocklayer::IoResult{Status::Ok(), {}});
+    });
+    return;
+  }
+  if (request.lba + request.nblocks > num_pages_) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(blocklayer::IoResult{
+          Status::OutOfRange("request beyond host map"), {}});
+    });
+    return;
+  }
+  if (request.op == blocklayer::IoOp::kWrite &&
+      request.tokens.size() != request.nblocks) {
+    sim_->Schedule(0, [request = std::move(request)]() {
+      request.on_complete(blocklayer::IoResult{
+          Status::InvalidArgument("write token count != nblocks"), {}});
+    });
+    return;
+  }
+
+  struct Tracker {
+    std::uint32_t remaining;
+    Status first_error;
+    std::vector<std::uint64_t> tokens;
+    blocklayer::IoCallback cb;
+  };
+  auto t = std::make_shared<Tracker>();
+  t->remaining = request.nblocks;
+  t->tokens.assign(
+      request.op == blocklayer::IoOp::kRead ? request.nblocks : 0, 0);
+  t->cb = std::move(request.on_complete);
+  auto on_page = [t](std::uint32_t index, Status st,
+                     std::uint64_t token) {
+    if (!st.ok() && t->first_error.ok()) t->first_error = st;
+    if (index < t->tokens.size()) t->tokens[index] = token;
+    if (--t->remaining > 0) return;
+    if (t->cb) {
+      t->cb(blocklayer::IoResult{t->first_error, std::move(t->tokens)});
+    }
+  };
+
+  switch (request.op) {
+    case blocklayer::IoOp::kRead:
+      for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+        ReadPage(request.lba + i, 0,
+                 [on_page, i](Status st, std::uint64_t token) {
+                   on_page(i, std::move(st), token);
+                 });
+      }
+      return;
+    case blocklayer::IoOp::kWrite:
+      for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+        WritePage(request.lba + i, request.tokens[i],
+                  [on_page, i](Status st) {
+                    on_page(i, std::move(st), 0);
+                  });
+      }
+      return;
+    case blocklayer::IoOp::kTrim:
+      // Drop the mapping now; the name dies at the next FreeRetired so
+      // a crash between trim and checkpoint commit can still recover
+      // the old copy.
+      for (std::uint32_t i = 0; i < request.nblocks; ++i) {
+        const PageId page = request.lba + i;
+        auto it = map_.find(page);
+        if (it != map_.end()) {
+          counters_.Increment("trims");
+          retired_.push_back(it->second);
+          name_to_page_.erase(it->second);
+          map_.erase(it);
+        }
+        sim_->Schedule(0, [on_page, i]() { on_page(i, Status::Ok(), 0); });
+      }
+      return;
+    default:
+      sim_->Schedule(0, [on_page]() {
+        on_page(0, Status::InvalidArgument("unsupported op"), 0);
+      });
+      return;
+  }
+}
+
+void HostMap::ReadPage(PageId page, int tries,
+                       std::function<void(Status, std::uint64_t)> done) {
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    // Never written (or trimmed): reads as zeroes, like an unmapped LBA.
+    counters_.Increment("zero_reads");
+    sim_->Schedule(0, [done = std::move(done)]() {
+      done(Status::Ok(), 0);
+    });
+    return;
+  }
+  counters_.Increment("reads");
+  dev_->Execute(host::Command::NamelessRead(
+      it->second,
+      [this, page, tries,
+       done = std::move(done)](const blocklayer::IoResult& res) {
+        if (res.status.ok()) {
+          done(Status::Ok(), res.tokens.empty() ? 0 : res.tokens[0]);
+          return;
+        }
+        if (res.status.IsNotFound() && tries < 3) {
+          // The device migrated the page between our lookup and its
+          // read — its callback already updated the map. Re-resolve.
+          counters_.Increment("read_retries");
+          ReadPage(page, tries + 1, std::move(done));
+          return;
+        }
+        done(res.status, 0);
+      }));
+}
+
+void HostMap::WritePage(PageId page, std::uint64_t token,
+                        std::function<void(Status)> done) {
+  counters_.Increment("writes");
+  dev_->Execute(host::Command::NamelessWriteTagged(
+      token, page, static_cast<std::uint32_t>(epoch_),
+      [this, page, done = std::move(done)](
+          const blocklayer::IoResult& res) {
+        if (!res.status.ok()) {
+          done(res.status);
+          return;
+        }
+        if (res.tokens.empty()) {
+          done(Status::Internal("nameless write returned no name"));
+          return;
+        }
+        const std::uint64_t name = res.tokens[0];
+        auto old = map_.find(page);
+        if (old != map_.end()) {
+          retired_.push_back(old->second);
+          name_to_page_.erase(old->second);
+          old->second = name;
+        } else {
+          map_[page] = name;
+        }
+        name_to_page_[name] = page;
+        done(Status::Ok());
+      }));
+}
+
+void HostMap::FreeRetired(std::function<void(Status)> cb) {
+  if (retired_.empty()) {
+    sim_->Schedule(0, [cb = std::move(cb)]() { cb(Status::Ok()); });
+    return;
+  }
+  auto names = std::make_shared<std::vector<std::uint64_t>>(
+      std::move(retired_));
+  retired_.clear();
+  struct Tracker {
+    std::size_t remaining;
+    Status first_error;
+    std::function<void(Status)> cb;
+  };
+  auto t = std::make_shared<Tracker>();
+  t->remaining = names->size();
+  t->cb = std::move(cb);
+  counters_.Add("retired_freed", names->size());
+  for (const std::uint64_t name : *names) {
+    dev_->Execute(host::Command::NamelessFree(
+        name, [this, t](const blocklayer::IoResult& res) {
+          // NotFound = already gone (crash reclaim); not an error.
+          if (!res.status.ok() && !res.status.IsNotFound() &&
+              t->first_error.ok()) {
+            t->first_error = res.status;
+          }
+          if (!res.status.ok() && res.status.IsNotFound()) {
+            counters_.Increment("free_stale");
+          }
+          if (--t->remaining == 0) t->cb(t->first_error);
+        }));
+  }
+}
+
+void HostMap::OnMigration(std::uint64_t old_name, std::uint64_t new_name) {
+  auto it = name_to_page_.find(old_name);
+  if (it != name_to_page_.end()) {
+    const PageId page = it->second;
+    name_to_page_.erase(it);
+    name_to_page_[new_name] = page;
+    map_[page] = new_name;
+    counters_.Increment("migrations");
+    return;
+  }
+  // A retired (not-yet-freed) copy can be migrated too; track it so the
+  // eventual free hits the right name instead of leaking the page.
+  for (std::uint64_t& name : retired_) {
+    if (name == old_name) {
+      name = new_name;
+      counters_.Increment("retired_migrations");
+      return;
+    }
+  }
+  counters_.Increment("stale_migrations");
+}
+
+void HostMap::Crash() {
+  counters_.Increment("crashes");
+  map_.clear();
+  name_to_page_.clear();
+  retired_.clear();
+}
+
+void HostMap::Adopt(PageId page, std::uint64_t name) {
+  map_[page] = name;
+  name_to_page_[name] = page;
+}
+
+bool HostMap::Lookup(PageId page, std::uint64_t* name) const {
+  auto it = map_.find(page);
+  if (it == map_.end()) return false;
+  if (name != nullptr) *name = it->second;
+  return true;
+}
+
+}  // namespace postblock::db

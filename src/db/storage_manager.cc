@@ -1,5 +1,7 @@
 #include "db/storage_manager.h"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace postblock::db {
@@ -28,6 +30,14 @@ StorageManager::StorageManager(sim::Simulator* sim, ssd::Device* device,
     pcm_log_ = std::make_unique<core::PcmLog>(sim_, pcm_.get(), 0,
                                               config_.pcm_log_bytes);
     direct_ = std::make_unique<blocklayer::DirectDriver>(sim_, device_);
+    // Capability probe, not config peeking: a device that advertises
+    // append regions has no logical address space, so page IO must run
+    // over the host-owned map speaking the nameless vocabulary.
+    if (direct_->Caps().append_regions > 0) {
+      host_map_ = std::make_unique<HostMap>(sim_, direct_.get(),
+                                            device_->num_blocks(),
+                                            device_->block_bytes());
+    }
     store_ = std::make_unique<core::HybridStore>(sim_, direct_.get(),
                                                  pcm_log_.get());
   } else {
@@ -54,7 +64,9 @@ void StorageManager::RebuildVolatileState() {
   if (pool_ == nullptr) {
     blocklayer::BlockDevice* data_path =
         config_.wiring == Wiring::kVision
-            ? static_cast<blocklayer::BlockDevice*>(direct_.get())
+            ? (host_map_ != nullptr
+                   ? static_cast<blocklayer::BlockDevice*>(host_map_.get())
+                   : static_cast<blocklayer::BlockDevice*>(direct_.get()))
             : static_cast<blocklayer::BlockDevice*>(block_layer_.get());
     pool_ = std::make_unique<BufferPool>(sim_, data_path, &images_,
                                          config_.buffer_frames);
@@ -179,6 +191,12 @@ void StorageManager::Checkpoint(StatusCb cb) {
       wal_->Truncate(std::move(cb));
     };
 
+    if (config_.wiring == Wiring::kVision && host_map_ != nullptr) {
+      // Post-block checkpoint: no atomic-write command needed — the
+      // epoch protocol makes the meta page the commit point.
+      CheckpointNameless(std::move(after_flush));
+      return;
+    }
     if (config_.wiring == Wiring::kVision &&
         device_->page_ftl() != nullptr) {
       // Atomic checkpoint: every dirty page + meta flips visibility as
@@ -207,6 +225,49 @@ void StorageManager::Checkpoint(StatusCb cb) {
   });
 }
 
+void StorageManager::CheckpointNameless(StatusCb cb) {
+  // Every page in this checkpoint is written under epoch S+1 while the
+  // committed checkpoint is still S; old copies are retired, not freed.
+  // The meta page (owner 0) is written *last*: the instant it lands,
+  // epoch S+1 is the recovery image. Only then do the retired copies
+  // die — a crash anywhere earlier leaves epoch S fully intact.
+  host_map_->set_epoch(ckpt_seq_ + 1);
+  std::vector<PageId> dirty;
+  for (Frame* frame : pool_->DirtyFrames()) {
+    if (frame->id != 0) dirty.push_back(frame->id);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  counters_.Add("checkpoint_pages", dirty.size() + 1);
+  auto write_meta = [this, cb = std::move(cb)](Status st) mutable {
+    if (!st.ok()) {
+      cb(std::move(st));
+      return;
+    }
+    pool_->FlushPage(0, [this, cb = std::move(cb)](Status st2) mutable {
+      if (!st2.ok()) {
+        cb(std::move(st2));
+        return;
+      }
+      ++ckpt_seq_;  // the commit point is durable
+      host_map_->FreeRetired(std::move(cb));
+    });
+  };
+  if (dirty.empty()) {
+    write_meta(Status::Ok());
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(dirty.size());
+  auto first_error = std::make_shared<Status>(Status::Ok());
+  auto then = std::make_shared<std::function<void(Status)>>(
+      std::move(write_meta));
+  for (PageId id : dirty) {
+    pool_->FlushPage(id, [remaining, first_error, then](Status st) {
+      if (!st.ok() && first_error->ok()) *first_error = std::move(st);
+      if (--*remaining == 0) (*then)(std::move(*first_error));
+    });
+  }
+}
+
 Status StorageManager::SimulateCrash() {
   counters_.Increment("crashes");
   // Power the stack down from the bottom up: each layer's epoch bump
@@ -220,6 +281,9 @@ Status StorageManager::SimulateCrash() {
   if (direct_ != nullptr) direct_->PowerCycle();
   if (block_layer_ != nullptr) block_layer_->PowerCycle();
   pool_->PowerCycle();
+  // The host-owned map is DRAM: gone. Recover() rebuilds it from the
+  // device's live-names scan.
+  if (host_map_ != nullptr) host_map_->Crash();
   // Volatile host objects (tree/heap/wal handles) are rebuilt empty;
   // Recover() re-attaches them to the durable state.
   RebuildVolatileState();

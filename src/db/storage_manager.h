@@ -14,6 +14,7 @@
 #include "db/btree.h"
 #include "db/buffer_pool.h"
 #include "db/heap_file.h"
+#include "db/host_map.h"
 #include "db/page_image.h"
 #include "db/wal.h"
 #include "metrics/metrics.h"
@@ -31,7 +32,18 @@ namespace postblock::db {
 ///     window included, as real systems must journal around).
 ///   kVision  — Section 3 wiring: synchronous WAL appends go to PCM over
 ///     the memory bus; data page IO takes the direct driver (no block
-///     layer); checkpoints use the device's atomic write group.
+///     layer). What checkpoints look like depends on what the device
+///     underneath speaks — discovered through Caps(), never by reading
+///     its config:
+///       * a page-map device executes the checkpoint as one atomic
+///         write group;
+///       * a post-block append device (Caps().append_regions > 0) gets
+///         the full de-indirected data path: page IO runs over a
+///         host-owned map (db::HostMap) speaking only the nameless
+///         vocabulary, checkpoints are epoch-tagged nameless writes
+///         with the meta page written last as the commit point, and
+///         recovery rebuilds the host map from the device's LiveNames
+///         scan (OOB owner stamps) before WAL replay.
 enum class Wiring { kClassic = 0, kVision };
 
 const char* WiringName(Wiring w);
@@ -90,6 +102,11 @@ class StorageManager {
   void Recover(StatusCb cb);
 
   BufferPool* buffer_pool() { return pool_.get(); }
+  /// Non-null in vision wiring over an append-mode device: the
+  /// host-owned page-id -> name mapping layer.
+  HostMap* host_map() { return host_map_.get(); }
+  /// Checkpoint epoch of the last committed checkpoint.
+  std::uint64_t ckpt_seq() const { return ckpt_seq_; }
   Wal* wal() { return wal_.get(); }
   BTree* tree() { return tree_.get(); }
   HeapFile* heap() { return heap_.get(); }
@@ -114,6 +131,16 @@ class StorageManager {
                 StatusCb cb);
   void RebuildVolatileState();
   std::uint64_t DataRegionBlocks() const;
+  /// Post-block checkpoint: epoch-tagged nameless writes of every dirty
+  /// data page, then the meta page last (the commit point), then frees
+  /// of the superseded copies.
+  void CheckpointNameless(StatusCb cb);
+  /// Post-crash: rebuilds the host map from the device's LiveNames scan
+  /// (adopt the newest copy with epoch <= the committed checkpoint,
+  /// free orphans and superseded copies).
+  void RebuildHostMap(StatusCb cb);
+  /// The common recovery tail: read the meta page, replay the WAL.
+  void RecoverFromMeta(StatusCb cb);
 
   sim::Simulator* sim_;
   ssd::Device* device_;
@@ -128,6 +155,8 @@ class StorageManager {
   std::unique_ptr<blocklayer::DirectDriver> direct_;
 
   std::unique_ptr<core::HybridStore> store_;
+  /// Vision wiring over an append-mode device only (capability-probed).
+  std::unique_ptr<HostMap> host_map_;
   PageImageStore images_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Wal> wal_;
@@ -136,6 +165,9 @@ class StorageManager {
 
   PageId next_page_id_ = 1;  // page 0 = meta
   std::uint64_t next_txn_id_ = 1;
+  /// Committed checkpoint epoch (nameless checkpoints stamp S+1 while
+  /// building, bump to S+1 once the meta page is durable).
+  std::uint64_t ckpt_seq_ = 0;
   Counters counters_;
   Histogram commit_latency_;
 

@@ -38,6 +38,13 @@ struct PageData {
 /// Marker LBA used by commit pages of atomic write groups.
 inline constexpr Lba kAtomicCommitLba = kInvalidLba - 1;
 
+/// OOB `lba` sentinel for host-managed (nameless) pages written by the
+/// vision-append FTL with no owner stamp: the page has no logical
+/// address — the host holds its name. Stamped nameless writes put the
+/// host's owner tag in `lba` instead (the de-indirection back-pointer),
+/// so a post-crash scan can return (name, owner, epoch) tuples.
+inline constexpr Lba kNamelessLba = kInvalidLba - 2;
+
 /// Per-block bookkeeping.
 struct BlockInfo {
   std::uint32_t write_point = 0;  // next programmable page (constraint C3)

@@ -54,6 +54,12 @@ class Ftl {
   /// written (>= 1 once the device has seen host writes).
   virtual double WriteAmplification() const = 0;
 
+  /// Controller-DRAM bytes this FTL's translation state occupies right
+  /// now — the crossover study's third axis (page map: 8+ B per logical
+  /// page; vision-append: per-block bookkeeping only). 0 = the FTL does
+  /// not model its map footprint.
+  virtual std::uint64_t MappingTableBytes() const { return 0; }
+
   /// Registers this FTL's time-series streams (cold path; called once
   /// by the owning Device when a registry is attached). The registry
   /// polls through `this`, so it must not outlive the FTL — same

@@ -49,6 +49,12 @@ class PageFtl : public Ftl {
   std::uint64_t user_pages() const override { return logical_pages_; }
   const Counters& counters() const override { return counters_; }
   double WriteAmplification() const override;
+  /// A full page map pays controller DRAM for every logical page
+  /// whether or not it holds data — 8 B/entry, the figure the paper's
+  /// mapping-table argument (and E8's table) uses.
+  std::uint64_t MappingTableBytes() const override {
+    return map_.size() * 8;
+  }
   void RegisterMetrics(metrics::MetricRegistry* m) override;
 
   // --- Extended (vision) interface ---------------------------------

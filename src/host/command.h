@@ -2,6 +2,7 @@
 #define POSTBLOCK_HOST_COMMAND_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -37,9 +38,18 @@ enum class CommandKind : std::uint8_t {
   kNamelessWrite,
   /// Advisory access hint; never fails, may be ignored.
   kHint,
+  /// Read a page by its device-issued name (Command::lba carries the
+  /// name). NotFound if the name is stale — e.g. the device migrated
+  /// the page and already told the host via the migration handler; the
+  /// host re-reads under its updated name.
+  kNamelessRead,
+  /// Release a named page (Command::lba carries the name) — the trim of
+  /// the nameless vocabulary. The device never garbage-collects a
+  /// host-managed page on its own; this command is how space dies.
+  kNamelessFree,
 };
 
-constexpr std::size_t kNumCommandKinds = 7;
+constexpr std::size_t kNumCommandKinds = 9;
 
 inline const char* CommandKindName(CommandKind kind) {
   switch (kind) {
@@ -57,6 +67,10 @@ inline const char* CommandKindName(CommandKind kind) {
       return "nameless-write";
     case CommandKind::kHint:
       return "hint";
+    case CommandKind::kNamelessRead:
+      return "nameless-read";
+    case CommandKind::kNamelessFree:
+      return "nameless-free";
   }
   return "?";
 }
@@ -78,8 +92,13 @@ enum class HintKind : std::uint8_t {
 ///   kTrim            lba, nblocks
 ///   kFlush           —
 ///   kAtomicGroup     group (extent = (lba, token))
-///   kNamelessWrite   tokens[0] = payload; completion tokens[0] = name
+///   kNamelessWrite   tokens[0] = payload; completion tokens[0] = name.
+///                    Optional OOB stamp the device persists alongside
+///                    the page (the de-indirection back-pointer): lba =
+///                    owner tag, nblocks = owner epoch (0 = unstamped).
 ///   kHint            hint, optionally lba/nblocks/stream as its scope
+///   kNamelessRead    lba = name; completion tokens[0] = payload
+///   kNamelessFree    lba = name
 /// `priority` and `stream` classify the command for scheduling on every
 /// path; `on_complete` always fires exactly once.
 struct Command {
@@ -145,6 +164,40 @@ struct Command {
     Command c;
     c.kind = CommandKind::kNamelessWrite;
     c.tokens = {token};
+    c.nblocks = 0;  // unstamped (no OOB owner tag)
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  /// Nameless write with an OOB owner stamp: the device persists
+  /// (owner, epoch) in the page's spare area, so a post-crash
+  /// control-path scan can hand the host back (name, owner, epoch)
+  /// tuples — the host rebuilds its own mapping without the device ever
+  /// keeping one (Zhang et al.'s de-indirection back-pointers).
+  static Command NamelessWriteTagged(std::uint64_t token,
+                                     std::uint64_t owner,
+                                     std::uint32_t epoch,
+                                     blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kNamelessWrite;
+    c.tokens = {token};
+    c.lba = owner;
+    c.nblocks = epoch;
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command NamelessRead(std::uint64_t name,
+                              blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kNamelessRead;
+    c.lba = name;
+    c.on_complete = std::move(cb);
+    return c;
+  }
+  static Command NamelessFree(std::uint64_t name,
+                              blocklayer::IoCallback cb) {
+    Command c;
+    c.kind = CommandKind::kNamelessFree;
+    c.lba = name;
     c.on_complete = std::move(cb);
     return c;
   }
@@ -156,6 +209,45 @@ struct Command {
     return c;
   }
 };
+
+/// Capability-discovery answer (host::HostInterface::Caps): everything
+/// a host needs to decide how to drive the stack, without reading the
+/// device's construction-time config — the post-block analogue of an
+/// NVMe Identify. Layers forward the call down and OR in what they add
+/// themselves (e.g. HybridStore's PCM sync path).
+struct DeviceCaps {
+  /// Per-kind support, same bit layout as CapabilityMask().
+  std::uint32_t command_mask = 0;
+  /// Multi-extent atomic write groups execute natively.
+  bool atomic_groups = false;
+  /// Nameless write/read/free execute natively.
+  bool nameless = false;
+  /// Advisory hints are accepted (possibly ignored) rather than failed.
+  bool hint_classes = false;
+  /// Synchronous byte-granular persistence bypassing the block path
+  /// (a PCM log behind SyncPersist) exists in this stack.
+  bool pcm_sync = false;
+  /// Physical-append mode: > 0 means the device runs host-managed
+  /// regions (this many independent append points), keeps no L2P for
+  /// them, and never garbage-collects host-managed pages on its own —
+  /// the post-block device of the paper's Section 3.
+  std::uint32_t append_regions = 0;
+  /// Device-side mapping-table DRAM right now, in bytes. The crossover
+  /// study's third axis: a full page-map FTL pays 8 B per logical page;
+  /// an append-mode device pays per-block bookkeeping only.
+  std::uint64_t mapping_table_bytes = 0;
+
+  bool Supports(CommandKind kind) const {
+    return (command_mask >> static_cast<int>(kind)) & 1u;
+  }
+};
+
+/// Fired when the device relocates a host-managed page (refresh of a
+/// decaying block, cooperative migration): (old name, new name). The
+/// host updates its mapping; a read in flight under the old name
+/// returns NotFound and is retried under the new one.
+using MigrationHandler =
+    std::function<void(std::uint64_t, std::uint64_t)>;
 
 /// The unified host-facing interface: typed commands plus capability
 /// discovery. Every stackable layer in the repo (the SSD device, the
@@ -189,6 +281,29 @@ class HostInterface {
 
   /// Executes one typed command.
   virtual void Execute(Command cmd) = 0;
+
+  /// Capability discovery. The default derives everything derivable
+  /// from Supports(); devices with richer truths (append regions,
+  /// mapping DRAM) and layers that add capabilities of their own
+  /// (HybridStore's PCM sync path) override or extend it. Hosts call
+  /// this instead of reading device configs.
+  virtual DeviceCaps Caps() const {
+    DeviceCaps caps;
+    caps.command_mask = CapabilityMask();
+    caps.atomic_groups = caps.Supports(CommandKind::kAtomicGroup);
+    caps.nameless = caps.Supports(CommandKind::kNamelessWrite) &&
+                    caps.Supports(CommandKind::kNamelessRead) &&
+                    caps.Supports(CommandKind::kNamelessFree);
+    caps.hint_classes = caps.Supports(CommandKind::kHint);
+    return caps;
+  }
+
+  /// Installs the host's migration handler for named pages. Stacked
+  /// layers forward it to the device; the default drops it (a stack
+  /// with no nameless support has nothing to migrate).
+  virtual void SetMigrationHandler(MigrationHandler handler) {
+    (void)handler;
+  }
 
   /// Capability bitmask (bit = static_cast<int>(CommandKind)).
   std::uint32_t CapabilityMask() const {

@@ -12,6 +12,8 @@ const char* FtlKindName(FtlKind kind) {
       return "hybrid";
     case FtlKind::kDftl:
       return "dftl";
+    case FtlKind::kVisionAppend:
+      return "vision-append";
   }
   return "?";
 }

@@ -32,6 +32,11 @@ enum class FtlKind {
   kBlockMap,     // block-level mapping (early SSDs)
   kHybrid,       // block-mapped data + page-mapped log blocks (BAST-like)
   kDftl,         // page mapping with demand-cached map (Gupta et al. [10])
+  /// Host-managed physical append (the paper's Section 3 post-block
+  /// device): no L2P, per-region append points, device-issued names,
+  /// migration callbacks instead of hidden GC. Only the nameless
+  /// command vocabulary works; LBA read/write/trim are Unimplemented.
+  kVisionAppend,
 };
 
 const char* FtlKindName(FtlKind kind);
@@ -168,6 +173,19 @@ struct Config {
   /// *placement* can equivalently be configured with
   /// luns_per_channel *= planes_per_lun.
   bool plane_parallelism = false;
+
+  /// Vision-append FTL: independent append points (regions). A host
+  /// stream maps to region (stream % append_regions); each region fills
+  /// its own active block, taking free blocks round-robin across LUNs.
+  std::uint32_t append_regions = 4;
+  /// Vision-append FTL: when free blocks drop to this fraction of the
+  /// array, the device starts *cooperative migration* — it relocates
+  /// the live pages of the deadest block (firing the migration handler
+  /// for each) and erases it. Not GC: liveness is entirely
+  /// host-declared via nameless-free; the device only compacts
+  /// fragmentation the host's frees created, and tells the host about
+  /// every move.
+  double append_migrate_watermark = 0.06;
 
   /// Hybrid FTL: log blocks per LUN.
   std::uint32_t hybrid_log_blocks_per_lun = 4;

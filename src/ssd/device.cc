@@ -21,6 +21,8 @@ std::unique_ptr<ftl::Ftl> MakeFtl(Controller* controller) {
       return std::make_unique<ftl::HybridFtl>(controller);
     case FtlKind::kDftl:
       return std::make_unique<ftl::Dftl>(controller);
+    case FtlKind::kVisionAppend:
+      return std::make_unique<ftl::AppendFtl>(controller);
   }
   return nullptr;
 }
@@ -53,6 +55,7 @@ Device::Device(ShardRouter* router, const Config& config,
 void Device::Init() {
   ftl_ = MakeFtl(controller_.get());
   page_ftl_ = dynamic_cast<ftl::PageFtl*>(ftl_.get());
+  append_ftl_ = dynamic_cast<ftl::AppendFtl*>(ftl_.get());
   if (config_.write_buffer.pages > 0) {
     write_buffer_ = std::make_unique<WriteBuffer>(
         sim_, ftl_.get(), config_.write_buffer,
@@ -302,15 +305,72 @@ bool Device::Supports(host::CommandKind kind) const {
     case host::CommandKind::kRead:
     case host::CommandKind::kWrite:
     case host::CommandKind::kTrim:
+      // A vision-append device has no logical address space to offer:
+      // the block vocabulary is honestly refused, not emulated.
+      return append_ftl_ == nullptr;
     case host::CommandKind::kFlush:
     case host::CommandKind::kHint:
       return true;
     case host::CommandKind::kAtomicGroup:
-    case host::CommandKind::kNamelessWrite:
-      // Extended vision commands need the page-mapping FTL.
+      // Atomic groups need the page-mapping FTL's commit marker.
       return page_ftl_ != nullptr;
+    case host::CommandKind::kNamelessWrite:
+    case host::CommandKind::kNamelessRead:
+    case host::CommandKind::kNamelessFree:
+      // Native under vision-append; emulated over hidden LBA slots on
+      // the page-mapping FTL.
+      return append_ftl_ != nullptr || page_ftl_ != nullptr;
   }
   return false;
+}
+
+host::DeviceCaps Device::Caps() const {
+  host::DeviceCaps caps = host::HostInterface::Caps();
+  if (append_ftl_ != nullptr) {
+    caps.append_regions = config_.append_regions;
+  }
+  caps.mapping_table_bytes = ftl_->MappingTableBytes();
+  return caps;
+}
+
+void Device::SetMigrationHandler(host::MigrationHandler handler) {
+  migration_handler_ = std::move(handler);
+  if (migration_handler_) EnsureMigrationListener();
+}
+
+void Device::EnsureMigrationListener() {
+  if (migration_listener_registered_) return;
+  if (append_ftl_ != nullptr) {
+    append_ftl_->SetMigrationListener(
+        [this](std::uint64_t old_name, std::uint64_t new_name) {
+          counters_.Increment("nameless_migrations");
+          if (migration_handler_) migration_handler_(old_name, new_name);
+        });
+    migration_listener_registered_ = true;
+  } else if (page_ftl_ != nullptr) {
+    page_ftl_->SetMigrationListener(
+        [this](Lba lba, flash::Ppa old_ppa, flash::Ppa new_ppa) {
+          OnPageFtlMigration(lba, old_ppa, new_ppa);
+        });
+    migration_listener_registered_ = true;
+  }
+}
+
+void Device::OnPageFtlMigration(Lba lba, const flash::Ppa& old_ppa,
+                                const flash::Ppa& new_ppa) {
+  // GC/WL moved some page; only named slots concern us, and only if the
+  // host's name still points where the FTL moved from (a slot rewritten
+  // mid-flight keeps its newer name).
+  auto slot = slot_to_name_.find(lba);
+  if (slot == slot_to_name_.end()) return;
+  const std::uint64_t old_name = old_ppa.Flatten(config_.geometry);
+  if (slot->second != old_name) return;
+  const std::uint64_t new_name = new_ppa.Flatten(config_.geometry);
+  name_to_slot_.erase(old_name);
+  name_to_slot_[new_name] = lba;
+  slot->second = new_name;
+  counters_.Increment("nameless_migrations");
+  if (migration_handler_) migration_handler_(old_name, new_name);
 }
 
 void Device::Execute(host::Command cmd) {
@@ -321,6 +381,12 @@ void Device::Execute(host::Command cmd) {
     case host::CommandKind::kNamelessWrite:
       ExecuteNamelessWrite(std::move(cmd));
       return;
+    case host::CommandKind::kNamelessRead:
+      ExecuteNamelessRead(std::move(cmd));
+      return;
+    case host::CommandKind::kNamelessFree:
+      ExecuteNamelessFree(std::move(cmd));
+      return;
     case host::CommandKind::kHint:
       counters_.Increment("hints");
       if (cmd.on_complete) {
@@ -328,6 +394,18 @@ void Device::Execute(host::Command cmd) {
       }
       return;
     default:
+      if (append_ftl_ != nullptr &&
+          cmd.kind != host::CommandKind::kFlush) {
+        // No logical address space: typed refusal, never a silent drop.
+        counters_.Increment("lba_commands_refused");
+        if (cmd.on_complete) {
+          cmd.on_complete(blocklayer::IoResult{
+              Status::Unimplemented(
+                  "vision-append device has no logical address space"),
+              {}});
+        }
+        return;
+      }
       // Block-expressible kinds lower onto Submit via the base class.
       blocklayer::BlockDevice::Execute(std::move(cmd));
       return;
@@ -358,18 +436,45 @@ void Device::ExecuteAtomicGroup(host::Command cmd) {
 }
 
 void Device::ExecuteNamelessWrite(host::Command cmd) {
+  if (append_ftl_ != nullptr) {
+    // Native physical append: the FTL picks the location, issues the
+    // name, and persists the command's OOB owner stamp (lba = owner
+    // tag, nblocks = owner epoch; 0 = unstamped).
+    counters_.Increment("nameless_writes");
+    EnsureMigrationListener();
+    const std::uint64_t token = cmd.tokens.empty() ? 0 : cmd.tokens[0];
+    const Lba owner =
+        cmd.nblocks == 0 ? flash::kNamelessLba : cmd.lba;
+    auto done = std::make_shared<blocklayer::IoCallback>(
+        std::move(cmd.on_complete));
+    append_ftl_->NamelessWrite(
+        token, owner, cmd.nblocks, cmd.stream,
+        [done](StatusOr<std::uint64_t> res) {
+          if (!*done) return;
+          if (res.ok()) {
+            (*done)(blocklayer::IoResult{Status::Ok(), {*res}});
+          } else {
+            (*done)(blocklayer::IoResult{res.status(), {}});
+          }
+        },
+        trace::Ctx{cmd.span, 0, trace::Origin::kHostWrite});
+    return;
+  }
   if (page_ftl_ == nullptr) {
     if (cmd.on_complete) {
       cmd.on_complete(blocklayer::IoResult{
           Status::Unimplemented(
-              "nameless writes require the page-mapping FTL"),
+              "nameless writes require the page-mapping or "
+              "vision-append FTL"),
           {}});
     }
     return;
   }
-  // Pick a device-side slot for the unnamed page: recycled first,
-  // lowest never-used otherwise. The returned name (tokens[0]) is the
-  // flattened physical address at write time.
+  // Emulation over the page map: park the unnamed page in a hidden LBA
+  // slot (recycled first, lowest never-used otherwise) and report the
+  // slot's physical address as the name. The slot map lets the device
+  // resolve later named reads/frees and track GC moves.
+  EnsureMigrationListener();
   Lba lba;
   if (!nameless_free_.empty()) {
     lba = nameless_free_.front();
@@ -398,6 +503,10 @@ void Device::ExecuteNamelessWrite(host::Command cmd) {
         std::uint64_t name = 0;
         if (auto ppa = page_ftl_->Locate(lba)) {
           name = ppa->Flatten(config_.geometry);
+          auto old = slot_to_name_.find(lba);
+          if (old != slot_to_name_.end()) name_to_slot_.erase(old->second);
+          name_to_slot_[name] = lba;
+          slot_to_name_[lba] = name;
         }
         if (*done) {
           (*done)(blocklayer::IoResult{Status::Ok(), {name}});
@@ -406,17 +515,123 @@ void Device::ExecuteNamelessWrite(host::Command cmd) {
       trace::Ctx{cmd.span, 0, trace::Origin::kHostWrite});
 }
 
-Status Device::PowerCycle() {
+void Device::ExecuteNamelessRead(host::Command cmd) {
+  auto done = std::make_shared<blocklayer::IoCallback>(
+      std::move(cmd.on_complete));
+  auto complete = [done](StatusOr<std::uint64_t> res) {
+    if (!*done) return;
+    if (res.ok()) {
+      (*done)(blocklayer::IoResult{Status::Ok(), {*res}});
+    } else {
+      (*done)(blocklayer::IoResult{res.status(), {}});
+    }
+  };
+  if (append_ftl_ != nullptr) {
+    counters_.Increment("nameless_reads");
+    append_ftl_->NamelessRead(
+        cmd.lba, complete,
+        trace::Ctx{cmd.span, 0, trace::Origin::kHostRead});
+    return;
+  }
   if (page_ftl_ == nullptr) {
+    sim_->Schedule(0, [complete]() {
+      complete(Status::Unimplemented(
+          "nameless reads require the page-mapping or vision-append "
+          "FTL"));
+    });
+    return;
+  }
+  counters_.Increment("nameless_reads");
+  auto it = name_to_slot_.find(cmd.lba);
+  if (it == name_to_slot_.end()) {
+    const std::uint64_t epoch = epoch_;
+    sim_->Schedule(0, [this, epoch, complete]() {
+      if (epoch != epoch_) return;
+      complete(Status::NotFound("stale name: page freed or migrated"));
+    });
+    return;
+  }
+  page_ftl_->Read(it->second, complete,
+                  trace::Ctx{cmd.span, 0, trace::Origin::kHostRead});
+}
+
+void Device::ExecuteNamelessFree(host::Command cmd) {
+  auto done = std::make_shared<blocklayer::IoCallback>(
+      std::move(cmd.on_complete));
+  auto complete = [done](Status st) {
+    if (*done) (*done)(blocklayer::IoResult{std::move(st), {}});
+  };
+  if (append_ftl_ != nullptr) {
+    counters_.Increment("nameless_frees");
+    append_ftl_->NamelessFree(
+        cmd.lba, complete,
+        trace::Ctx{cmd.span, 0, trace::Origin::kHostTrim});
+    return;
+  }
+  if (page_ftl_ == nullptr) {
+    sim_->Schedule(0, [complete]() {
+      complete(Status::Unimplemented(
+          "nameless frees require the page-mapping or vision-append "
+          "FTL"));
+    });
+    return;
+  }
+  counters_.Increment("nameless_frees");
+  auto it = name_to_slot_.find(cmd.lba);
+  if (it == name_to_slot_.end()) {
+    const std::uint64_t epoch = epoch_;
+    sim_->Schedule(0, [this, epoch, complete]() {
+      if (epoch != epoch_) return;
+      complete(Status::NotFound("stale name: page freed or migrated"));
+    });
+    return;
+  }
+  const Lba slot = it->second;
+  name_to_slot_.erase(it);
+  slot_to_name_.erase(slot);
+  page_ftl_->Trim(
+      slot,
+      [this, complete, slot](Status st) {
+        if (st.ok()) nameless_free_.push_back(slot);
+        complete(std::move(st));
+      },
+      trace::Ctx{cmd.span, 0, trace::Origin::kHostTrim});
+}
+
+Status Device::PowerCycle() {
+  if (page_ftl_ == nullptr && append_ftl_ == nullptr) {
     return Status::Unimplemented(
-        "power-cycle recovery requires the page-mapping FTL");
+        "power-cycle recovery requires the page-mapping or "
+        "vision-append FTL");
   }
   counters_.Increment("power_cycles");
   ++epoch_;
   if (write_buffer_ != nullptr && !config_.write_buffer.battery_backed) {
     write_buffer_->DiscardAll();
   }
+  if (append_ftl_ != nullptr) {
+    // Names are physical: nothing device-side to rebuild beyond the
+    // FTL's per-block state. The *host* rescans via LiveNames().
+    PB_RETURN_IF_ERROR(append_ftl_->PowerCycle());
+    return Status::Ok();
+  }
   PB_RETURN_IF_ERROR(page_ftl_->PowerCycle());
+  // The nameless slot maps are device DRAM: lost with power, rebuilt
+  // from the recovered L2P (the name of a surviving slot is wherever
+  // the OOB scan says it lives now; unmapped slots return to the free
+  // pool in ascending order — deterministic).
+  name_to_slot_.clear();
+  slot_to_name_.clear();
+  nameless_free_.clear();
+  for (Lba lba = 0; lba < nameless_next_; ++lba) {
+    if (auto ppa = page_ftl_->Locate(lba)) {
+      const std::uint64_t name = ppa->Flatten(config_.geometry);
+      name_to_slot_[name] = lba;
+      slot_to_name_[lba] = name;
+    } else {
+      nameless_free_.push_back(lba);
+    }
+  }
   // Battery-backed buffers keep their contents; requeue them against
   // the rebuilt FTL (their old drain completions died with the epoch).
   if (write_buffer_ != nullptr && config_.write_buffer.battery_backed) {

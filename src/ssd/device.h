@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "blocklayer/block_device.h"
 #include "common/histogram.h"
 #include "common/stats.h"
+#include "ftl/append_ftl.h"
 #include "ftl/ftl.h"
 #include "ftl/page_ftl.h"
 #include "metrics/metrics.h"
@@ -59,10 +61,19 @@ class Device : public blocklayer::BlockDevice {
 
   /// Typed host commands (host::HostInterface). Beyond the block
   /// vocabulary, the device natively executes atomic write groups and
-  /// nameless writes when running the page-mapping FTL — the paper's §4
-  /// "new interfaces" that a block device cannot express.
+  /// the nameless vocabulary (write/read/free) when running the
+  /// page-mapping FTL — and, under FtlKind::kVisionAppend, *only* the
+  /// post-block vocabulary: the block kinds are refused with a typed
+  /// Unimplemented because the device has no logical address space.
   void Execute(host::Command cmd) override;
   bool Supports(host::CommandKind kind) const override;
+  /// Identify: adds the truths only the device knows (append regions,
+  /// live mapping-table DRAM) to the derivable command mask.
+  host::DeviceCaps Caps() const override;
+  /// Host migration handler for named pages (old name -> new name).
+  /// Registration is lazy on both FTL paths so un-wired stacks keep
+  /// byte-identical schedules.
+  void SetMigrationHandler(host::MigrationHandler handler) override;
 
   /// Completions routed to multi-queue submitters, per software queue
   /// (read from IoCallback::queue_id). 0 for queues never seen.
@@ -81,6 +92,17 @@ class Device : public blocklayer::BlockDevice {
   /// Non-null when Config::ftl is kPageMap (extended vision commands:
   /// atomic writes, nameless writes, power-cycle recovery).
   ftl::PageFtl* page_ftl() { return page_ftl_; }
+  /// Non-null when Config::ftl is kVisionAppend (host-managed physical
+  /// append; the block vocabulary is refused).
+  ftl::AppendFtl* append_ftl() { return append_ftl_; }
+  /// Control-path (admin) enumeration of live host-managed pages with
+  /// their OOB owner stamps — the post-crash scan hosts rebuild their
+  /// mapping from. Empty unless running kVisionAppend.
+  std::vector<ftl::AppendFtl::LiveName> LiveNames() const {
+    return append_ftl_ != nullptr
+               ? append_ftl_->LiveNames()
+               : std::vector<ftl::AppendFtl::LiveName>{};
+  }
   WriteBuffer* write_buffer() { return write_buffer_.get(); }
 
   /// Host-visible latency distributions.
@@ -91,7 +113,8 @@ class Device : public blocklayer::BlockDevice {
 
   /// Simulates power loss + reboot. Un-drained buffered writes vanish
   /// unless the buffer is battery-backed; the FTL rebuilds its mapping
-  /// from OOB metadata. Only supported for the page-mapping FTL.
+  /// from OOB metadata. Supported for the page-mapping and
+  /// vision-append FTLs.
   Status PowerCycle();
 
  private:
@@ -108,6 +131,14 @@ class Device : public blocklayer::BlockDevice {
 
   void ExecuteAtomicGroup(host::Command cmd);
   void ExecuteNamelessWrite(host::Command cmd);
+  void ExecuteNamelessRead(host::Command cmd);
+  void ExecuteNamelessFree(host::Command cmd);
+  /// Lazily registers this device on its FTL's migration listener seam
+  /// (first nameless write or handler install) and fans relocations out
+  /// to the host handler.
+  void EnsureMigrationListener();
+  void OnPageFtlMigration(Lba lba, const flash::Ppa& old_ppa,
+                          const flash::Ppa& new_ppa);
 
   bool Traced() const { return tracer_ != nullptr && tracer_->enabled(); }
 
@@ -120,7 +151,8 @@ class Device : public blocklayer::BlockDevice {
   std::uint64_t epoch_ = 0;  // bumped by PowerCycle; drops stale events
   std::unique_ptr<Controller> controller_;
   std::unique_ptr<ftl::Ftl> ftl_;
-  ftl::PageFtl* page_ftl_ = nullptr;  // borrowed view into ftl_
+  ftl::PageFtl* page_ftl_ = nullptr;      // borrowed view into ftl_
+  ftl::AppendFtl* append_ftl_ = nullptr;  // borrowed view into ftl_
   std::unique_ptr<WriteBuffer> write_buffer_;
 
   Histogram read_latency_;
@@ -132,12 +164,19 @@ class Device : public blocklayer::BlockDevice {
   /// Counters entry so default counter dumps are unchanged.
   std::vector<std::uint64_t> cq_posts_;
 
-  /// Nameless-write slot bookkeeping (kNamelessWrite): LBAs handed out
-  /// device-side, lowest-unused-first, recycled on trim of a named
-  /// page. Minimal device-level model — core::NamelessStore remains the
-  /// full host-side implementation with migration tracking.
+  /// Nameless vocabulary on the page-mapping FTL: the device *emulates*
+  /// physical append by parking each nameless page in a hidden LBA slot
+  /// (lowest-unused-first, recycled on free) and reporting the slot's
+  /// current physical address as the name. name_to_slot_ resolves
+  /// kNamelessRead/kNamelessFree and is rewritten when GC/WL moves a
+  /// slot (the migration handler tells the host). The vision-append FTL
+  /// needs none of this: names *are* physical there.
   Lba nameless_next_ = 0;
   std::deque<Lba> nameless_free_;
+  std::map<std::uint64_t, Lba> name_to_slot_;
+  std::map<Lba, std::uint64_t> slot_to_name_;
+  bool migration_listener_registered_ = false;
+  host::MigrationHandler migration_handler_;
 
   trace::Tracer* tracer_ = nullptr;  // == config_.tracer
   std::uint32_t dev_track_ = 0;      // "ssd-device" (host pid)

@@ -174,7 +174,7 @@ class NamelessTest : public ::testing::Test {
  protected:
   NamelessTest()
       : device_(&sim_, ssd::Config::Small()),
-        store_(&sim_, device_.page_ftl()) {}
+        store_(&sim_, &device_) {}
 
   NamelessStore::Name WriteSync(std::uint64_t token) {
     NamelessStore::Name name = 0;

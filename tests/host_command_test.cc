@@ -12,8 +12,10 @@
 #include "blocklayer/direct_driver.h"
 #include "blocklayer/simple_device.h"
 #include "core/hybrid_store.h"
+#include "core/pcm_log.h"
 #include "host/command.h"
 #include "host/tag_set.h"
+#include "pcm/pcm_device.h"
 #include "sim/simulator.h"
 #include "ssd/device.h"
 
@@ -121,11 +123,14 @@ TEST(HostCommandTest, CapabilityMasksPerLayer) {
   EXPECT_EQ(simple.CapabilityMask(), basic);
   EXPECT_FALSE(simple.Supports(host::CommandKind::kAtomicGroup));
 
-  // The page-mapped SSD speaks the full vision command set.
+  // The page-mapped SSD speaks the full vision command set, including
+  // the complete nameless vocabulary (write/read/free).
   ssd::Device dev(&sim, ssd::Config::Small());
   const std::uint32_t vision = basic |
                                Bit(host::CommandKind::kAtomicGroup) |
-                               Bit(host::CommandKind::kNamelessWrite);
+                               Bit(host::CommandKind::kNamelessWrite) |
+                               Bit(host::CommandKind::kNamelessRead) |
+                               Bit(host::CommandKind::kNamelessFree);
   EXPECT_EQ(dev.CapabilityMask(), vision);
 
   // Stacked layers advertise what the device below can do.
@@ -135,6 +140,93 @@ TEST(HostCommandTest, CapabilityMasksPerLayer) {
   EXPECT_EQ(over_ssd.CapabilityMask(), vision);
   blocklayer::DirectDriver direct(&sim, &dev);
   EXPECT_EQ(direct.CapabilityMask(), vision);
+}
+
+TEST(HostCommandTest, DeviceCapsProbeReplacesConfigPeeking) {
+  sim::Simulator sim;
+  // A plain block device: hints only, no extended vocabulary.
+  SimpleBlockDevice simple(&sim, SimpleDeviceConfig{});
+  host::DeviceCaps sc = simple.Caps();
+  EXPECT_FALSE(sc.nameless);
+  EXPECT_FALSE(sc.atomic_groups);
+  EXPECT_TRUE(sc.hint_classes);
+  EXPECT_FALSE(sc.pcm_sync);
+  EXPECT_EQ(sc.append_regions, 0u);
+
+  // The page-mapped SSD: full vision set, and the DRAM argument in one
+  // number — the device L2P is sized by the *logical space* (8 B per
+  // logical page, whether mapped or not).
+  ssd::Device dev(&sim, ssd::Config::Small());
+  host::DeviceCaps dc = dev.Caps();
+  EXPECT_TRUE(dc.nameless);
+  EXPECT_TRUE(dc.atomic_groups);
+  EXPECT_EQ(dc.append_regions, 0u);
+  EXPECT_EQ(dc.mapping_table_bytes, dev.num_blocks() * 8);
+
+  // The post-block append device: nameless-only vocabulary, advertised
+  // append regions, no logical address space behind kRead/kWrite/kTrim.
+  ssd::Config acfg = ssd::Config::Small();
+  acfg.ftl = ssd::FtlKind::kVisionAppend;
+  ssd::Device append_dev(&sim, acfg);
+  host::DeviceCaps ac = append_dev.Caps();
+  EXPECT_TRUE(ac.nameless);
+  EXPECT_EQ(ac.append_regions, acfg.append_regions);
+  EXPECT_FALSE(ac.Supports(host::CommandKind::kRead));
+  EXPECT_FALSE(ac.Supports(host::CommandKind::kWrite));
+  EXPECT_FALSE(ac.Supports(host::CommandKind::kTrim));
+  EXPECT_TRUE(ac.Supports(host::CommandKind::kFlush));
+  EXPECT_TRUE(ac.Supports(host::CommandKind::kNamelessWrite));
+
+  // Layers restate the device's caps; HybridStore adds the one thing
+  // only it can claim — the synchronous PCM persistence path.
+  blocklayer::DirectDriver direct(&sim, &append_dev);
+  EXPECT_EQ(direct.Caps().append_regions, acfg.append_regions);
+  EXPECT_TRUE(direct.Caps().nameless);
+  pcm::PcmConfig pcm_cfg;
+  pcm::PcmDevice pcm(&sim, pcm_cfg);
+  core::PcmLog pcm_log(&sim, &pcm, 0, 1 * kMiB);
+  core::HybridStore vision_store(&sim, &direct, &pcm_log);
+  EXPECT_TRUE(vision_store.Caps().pcm_sync);
+  core::HybridStore classic_store(&sim, &simple, /*log_region_start=*/0,
+                                  /*log_region_blocks=*/8);
+  EXPECT_FALSE(classic_store.Caps().pcm_sync);
+}
+
+TEST(HostCommandTest, UnsupportedExtendedKindsNeverSilentlyDrop) {
+  // Regression guard: every extended kind sent to a stack that cannot
+  // execute it must still *complete*, with a typed Unimplemented — a
+  // command whose callback never fires is the block interface's silent
+  // contract violation this API exists to kill.
+  sim::Simulator sim;
+  SimpleBlockDevice dev(&sim, SimpleDeviceConfig{});
+  int completions = 0;
+  auto expect_unimpl = [&completions](const IoResult& r) {
+    EXPECT_EQ(r.status.code(), StatusCode::kUnimplemented);
+    ++completions;
+  };
+  dev.Execute(host::Command::NamelessWrite(7, expect_unimpl));
+  dev.Execute(host::Command::NamelessRead(99, expect_unimpl));
+  dev.Execute(host::Command::NamelessFree(99, expect_unimpl));
+  dev.Execute(
+      host::Command::AtomicGroup({{1, 10}, {2, 20}}, expect_unimpl));
+  sim.Run();
+  EXPECT_EQ(completions, 4);
+
+  // Same guarantee in the other direction: the append device refuses
+  // the block vocabulary it has no address space for.
+  ssd::Config acfg = ssd::Config::Small();
+  acfg.ftl = ssd::FtlKind::kVisionAppend;
+  ssd::Device append_dev(&sim, acfg);
+  int refused = 0;
+  auto expect_refused = [&refused](const IoResult& r) {
+    EXPECT_EQ(r.status.code(), StatusCode::kUnimplemented);
+    ++refused;
+  };
+  append_dev.Execute(host::Command::Read(0, 1, expect_refused));
+  append_dev.Execute(host::Command::Write(0, {1}, expect_refused));
+  sim.Run();
+  EXPECT_EQ(refused, 2);
+  EXPECT_GE(append_dev.counters().Get("lba_commands_refused"), 2u);
 }
 
 // --- Execute lowering on a plain block device -----------------------------
